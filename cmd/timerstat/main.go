@@ -1,0 +1,125 @@
+// Command timerstat analyses a binary timer trace written by timertrace,
+// reproducing the paper's per-trace analyses: summary counts (Tables 1-2),
+// usage-pattern classification (Figure 2), common-value histograms
+// (Figures 3 and 5-7), the select-countdown dot plot (Figure 4), the
+// expiry/cancelation scatter (Figures 8-11), and the origins table
+// (Table 3).
+//
+// Usage:
+//
+//	timerstat -summary -classes -values trace.bin
+//	timerstat -values -user-only -collapse -exclude Xorg,icewm trace.bin
+//	timerstat -scatter -origins -series Xorg trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"timerstudy/internal/analysis"
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+func main() {
+	summary := flag.Bool("summary", false, "print the trace summary (Tables 1-2)")
+	classes := flag.Bool("classes", false, "print usage-pattern shares (Figure 2)")
+	values := flag.Bool("values", false, "print the common-value histogram (Figures 3/5/6/7)")
+	userOnly := flag.Bool("user-only", false, "restrict -values to user-space accesses (Figure 6)")
+	collapse := flag.Bool("collapse", false, "collapse select countdowns to their initial value (Figure 5)")
+	exclude := flag.String("exclude", "", "comma-separated processes to exclude (Figure 5 uses Xorg,icewm)")
+	jiffyBin := flag.Bool("jiffies", true, "bin kernel values to jiffies (Linux analysis)")
+	minShare := flag.Float64("min-share", 2.0, "histogram share threshold in percent")
+	scatter := flag.Bool("scatter", false, "print the expiry/cancel scatter (Figures 8-11)")
+	origins := flag.Bool("origins", false, "print the origins table (Table 3)")
+	minSets := flag.Int("min-sets", 20, "origins table: minimum sets per origin")
+	series := flag.String("series", "", "print the set-time/value dot plot for a process (Figure 4)")
+	deps := flag.Bool("deps", false, "infer timer dependency/overlap relations (Section 5.2)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: timerstat [flags] trace-file")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
+		os.Exit(1)
+	}
+	tr, err := trace.Decode(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
+		os.Exit(1)
+	}
+
+	ls := analysis.Lifecycles(tr)
+	var excl []string
+	if *exclude != "" {
+		excl = strings.Split(*exclude, ",")
+	}
+	any := false
+	if *summary {
+		any = true
+		s := analysis.Summarize(tr)
+		fmt.Print(analysis.RenderSummaryTable("Trace summary", []string{"value"}, []analysis.Summary{s}))
+		fmt.Printf("Clustered    %12d (distinct origin+pid)\n\n", s.ClusteredTimers)
+	}
+	if *classes {
+		any = true
+		fmt.Println("Usage patterns (Figure 2):")
+		fmt.Print(analysis.RenderClassShares([]string{"share"}, []analysis.ClassShares{analysis.ComputeClassShares(ls)}))
+		fmt.Println()
+	}
+	if *values {
+		any = true
+		entries, total := analysis.CommonValues(ls, analysis.ValueOptions{
+			UserOnly:           *userOnly,
+			ExcludeProcesses:   excl,
+			CollapseCountdowns: *collapse,
+			JiffyBinKernel:     *jiffyBin,
+			MinSharePercent:    *minShare,
+		})
+		fmt.Printf("Common timeout values (>=%.1f%% of %d samples):\n", *minShare, total)
+		fmt.Print(analysis.RenderValues(entries))
+		fmt.Println()
+	}
+	if *scatter {
+		any = true
+		fmt.Println("Expiry/cancelation vs timeout (Figures 8-11):")
+		opts := analysis.DefaultScatterOptions()
+		opts.ExcludeProcesses = excl
+		fmt.Print(analysis.RenderScatter(analysis.Scatter(ls, opts)))
+		fmt.Println()
+	}
+	if *origins {
+		any = true
+		fmt.Println("Origins (Table 3):")
+		fmt.Print(analysis.RenderOrigins(analysis.OriginTable(ls, *minSets)))
+		fmt.Println()
+	}
+	if *series != "" {
+		any = true
+		pts := analysis.SetSeries(ls, *series)
+		var end sim.Time
+		for _, r := range tr.Records() {
+			if r.T > end {
+				end = r.T
+			}
+		}
+		fmt.Printf("Set series for %s (Figure 4), %d points:\n", *series, len(pts))
+		fmt.Print(analysis.RenderSeries(pts, end.Sub(0)))
+	}
+	if *deps {
+		any = true
+		fmt.Println("Inferred timer relations (Section 5.2):")
+		fmt.Print(analysis.RenderRelations(analysis.InferRelations(ls, analysis.InferOptions{})))
+	}
+	if !any {
+		fmt.Fprintln(os.Stderr, "timerstat: nothing to do; pass -summary, -classes, -values, -scatter, -origins, -series or -deps")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,129 @@
+// Adaptiverpc: "30 seconds is not enough — and also far too much."
+//
+// An RPC client calls a server over a link that (a) works, (b) degrades,
+// and (c) dies. Two clients run side by side: one with the classic fixed
+// 30-second timeout, one with the paper's Section 5.1 proposal — time out
+// once the system is 99% confident the reply is never coming.
+//
+//	go run ./examples/adaptiverpc
+package main
+
+import (
+	"fmt"
+
+	"timerstudy/internal/core"
+	"timerstudy/internal/netsim"
+	"timerstudy/internal/sim"
+)
+
+const fixedTimeout = 30 * sim.Second
+
+func main() {
+	eng := sim.NewEngine(7)
+	net := netsim.NewNetwork(eng)
+	fac := core.New(core.SimBackend{Eng: eng})
+
+	// An RPC server: answers each request after a small service time.
+	net.Attach("server", func(p netsim.Packet) {
+		if req, ok := p.Payload.(int); ok {
+			eng.After(2*sim.Millisecond, "serve", func() {
+				net.Send(netsim.Packet{From: "server", To: "client", Size: 100, Payload: -req})
+			})
+		}
+	})
+	pending := map[int]func(){}
+	net.Attach("client", func(p netsim.Packet) {
+		if resp, ok := p.Payload.(int); ok {
+			if cb := pending[-resp]; cb != nil {
+				delete(pending, -resp)
+				cb()
+			}
+		}
+	})
+	net.SetPath("client", "server", netsim.PathConfig{
+		Latency: 60 * sim.Millisecond, Jitter: 20 * sim.Millisecond,
+	})
+
+	adaptive := fac.NewAdaptiveTimeout("rpc", 0.99, 10*sim.Millisecond, fixedTimeout)
+
+	nextID := 0
+	call := func(done func(ok bool, lat sim.Duration)) {
+		nextID++
+		id := nextID
+		sent := eng.Now()
+		finished := false
+		pending[id] = func() {
+			if finished {
+				return
+			}
+			finished = true
+			done(true, eng.Now().Sub(sent))
+		}
+		net.Send(netsim.Packet{From: "client", To: "server", Size: 100, Payload: id})
+		// The caller's own guard decides when to give up; here we let the
+		// *caller* choose fixed or adaptive.
+		_ = sent
+	}
+
+	fmt.Println("phase 1: healthy link, 300 calls train the estimator")
+	ok := 0
+	for i := 0; i < 300; i++ {
+		eng.After(sim.Duration(i)*50*sim.Millisecond, "call", func() {
+			start := eng.Now()
+			g := adaptive.Arm(func() {})
+			call(func(o bool, lat sim.Duration) {
+				if g.Done() {
+					ok++
+					adaptive.ObserveSuccess(lat)
+				}
+				_ = start
+			})
+		})
+	}
+	eng.Run(eng.Now().Add(20 * sim.Second))
+	fmt.Printf("  %d/300 calls succeeded; learned 99%% timeout: %v (fixed: %v)\n", ok, adaptive.Current(), fixedTimeout)
+
+	fmt.Println("\nphase 2: the server dies; both clients have one call outstanding")
+	net.SetPath("client", "server", netsim.PathConfig{Latency: 60 * sim.Millisecond, Loss: 1})
+	start := eng.Now()
+	var adaptiveDetect, fixedDetect sim.Duration
+	// Adaptive client
+	g := adaptive.Arm(func() { adaptiveDetect = eng.Now().Sub(start) })
+	call(func(bool, sim.Duration) { g.Done() })
+	// Fixed client
+	fg := fac.NewGuard(nil, "fixed-rpc", core.Exact(fixedTimeout), func() { fixedDetect = eng.Now().Sub(start) })
+	call(func(bool, sim.Duration) { fg.Done() })
+	eng.Run(eng.Now().Add(2 * sim.Minute))
+	fmt.Printf("  adaptive client detected the failure after %v\n", adaptiveDetect)
+	fmt.Printf("  fixed client detected the failure after    %v\n", fixedDetect)
+	fmt.Printf("  => %.0fx faster failure detection\n", float64(fixedDetect)/float64(adaptiveDetect))
+
+	fmt.Println("\nphase 3: the link recovers but is now 10x slower (WAN): the estimator re-learns")
+	net.SetPath("client", "server", netsim.PathConfig{Latency: 600 * sim.Millisecond, Jitter: 200 * sim.Millisecond})
+	recovered, late := 0, 0
+	for i := 0; i < 200; i++ {
+		eng.After(sim.Duration(i)*100*sim.Millisecond, "call", func() {
+			g := adaptive.Arm(func() {})
+			call(func(o bool, lat sim.Duration) {
+				if g.Done() {
+					recovered++
+					adaptive.ObserveSuccess(lat)
+				} else {
+					// The call was already reported timed out, but the
+					// reply arrived late. Section 5.1: the timer system
+					// must "continue monitoring for the event that was
+					// being waited for" — late arrivals are exactly the
+					// samples that teach the estimator about the new
+					// latency regime. Without this, the shorter learned
+					// timeout would lock the client out forever.
+					late++
+					adaptive.ObserveSuccess(lat)
+				}
+			})
+		})
+	}
+	eng.Run(eng.Now().Add(60 * sim.Second))
+	fmt.Printf("  %d/200 calls succeeded in time, %d replies arrived late and re-trained the model\n", recovered, late)
+	fmt.Printf("  timeout re-learned to %v (level shifts detected: %d)\n",
+		adaptive.Current(), adaptive.Estimator().Shifts)
+}

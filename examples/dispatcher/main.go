@@ -1,0 +1,91 @@
+// Dispatcher: the paper's Section 5.5 endgame — no timer interface at all.
+//
+// A Skype-like soft-real-time pipeline (audio every 20 ms, video every
+// 33 ms) is built twice:
+//
+//  1. the way the study observed real applications doing it: poll loops
+//     with 1-3-jiffy timeouts hammering the kernel timer subsystem
+//     (thousands of accesses per second, Figure 9/10);
+//
+//  2. with temporal requirements declared directly to the CPU dispatcher:
+//     "run this code every 20 ms, ±5 ms, it needs ~2 ms" — zero timer
+//     accesses, explicit deadline accounting, batched activations.
+//
+//     go run ./examples/dispatcher
+package main
+
+import (
+	"fmt"
+
+	"timerstudy/internal/analysis"
+	"timerstudy/internal/dispatch"
+	"timerstudy/internal/kernel"
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+const runFor = 30 * sim.Second
+
+func pollLoopVersion() {
+	eng := sim.NewEngine(1)
+	tr := trace.NewBuffer(1 << 20)
+	lx := kernel.NewLinux(eng, tr)
+	app := lx.NewProcess("softrt-app")
+
+	frames := 0
+	audio := app.NewThread()
+	var audioLoop func()
+	audioLoop = func() {
+		// The observed idiom: poll with a short timeout approximating the
+		// frame cadence, spin until the deadline.
+		audio.Poll(20*sim.Millisecond, func(kernel.SelectResult) {
+			frames++
+			audioLoop()
+		})
+	}
+	audioLoop()
+	video := app.NewThread()
+	var videoLoop func()
+	videoLoop = func() {
+		video.Poll(32*sim.Millisecond, func(kernel.SelectResult) { videoLoop() })
+	}
+	videoLoop()
+	eng.Run(sim.Time(runFor))
+
+	s := analysis.Summarize(tr)
+	fmt.Printf("poll-loop version:   %5d audio frames, %6d timer-subsystem accesses (%.0f/s), %6d CPU wakeups\n",
+		frames, s.Accesses, float64(s.Accesses)/runFor.Seconds(), eng.Stats().Wakeups)
+	fmt.Printf("                     deadline adherence: unknown — the kernel has no idea what the app wanted\n")
+}
+
+func dispatcherVersion() {
+	eng := sim.NewEngine(1)
+	sched := dispatch.NewScheduler(eng)
+	audio := sched.NewTask("audio", 4)
+	video := sched.NewTask("video", 1)
+	frames := 0
+	audio.Periodic(20*sim.Millisecond, 5*sim.Millisecond, 2*sim.Millisecond, func(c dispatch.Context) {
+		frames++
+	})
+	video.Periodic(33*sim.Millisecond, 12*sim.Millisecond, 4*sim.Millisecond, func(dispatch.Context) {})
+	eng.Run(sim.Time(runFor))
+
+	st := sched.Stats()
+	fmt.Printf("dispatcher version:  %5d audio frames, %6d timer-subsystem accesses, %6d scheduler activations\n",
+		frames, 0, st.Wakeups)
+	fmt.Printf("                     deadline adherence: %d/%d dispatches missed their window\n",
+		st.Misses, st.Dispatches)
+}
+
+func main() {
+	fmt.Printf("A soft-real-time A/V pipeline, two ways (%v of virtual time):\n\n", runFor)
+	pollLoopVersion()
+	fmt.Println()
+	dispatcherVersion()
+	fmt.Println()
+	fmt.Println("The timer-interface version tells the kernel nothing about intent, so the")
+	fmt.Println("study's traces show it as an unclassifiable storm of 1-3 jiffy timeouts.")
+	fmt.Println("Declaring \"what code, when, how much CPU\" to the dispatcher removes the")
+	fmt.Println("timer traffic entirely and makes temporal behaviour observable — the")
+	fmt.Println("direction Section 5.5 argues for.")
+}

@@ -1,0 +1,51 @@
+// Fileshare: the Section 2.2.2 story, runnable.
+//
+// A user types a server name into the file browser. Name resolution fans
+// out to WINS, DNS and NetBT; the connection fans out to SMB, NFS (over
+// SunRPC, 7 retries doubling from 500 ms) and WebDAV; TCP adds its own
+// exponential SYN backoff underneath. Although the server — when healthy —
+// answers within a ~130 ms round trip, the static layering needs over a
+// minute to admit that a dead host is dead.
+//
+//	go run ./examples/fileshare
+package main
+
+import (
+	"fmt"
+
+	"timerstudy/internal/layers"
+	"timerstudy/internal/sim"
+)
+
+func main() {
+	fmt.Println("Opening \\\\server\\share under three timeout policies")
+	fmt.Println("(healthy server RTT: ~130 ms)")
+	fmt.Println()
+	fmt.Printf("%-10s %-16s %-8s %-16s %s\n", "policy", "target", "result", "time-to-report", "decided by")
+
+	for _, policy := range []layers.Policy{layers.Static, layers.Budgeted, layers.Adaptive} {
+		for _, target := range []string{layers.FileServer, layers.DeadHost, layers.BadName} {
+			w := layers.NewWorld(1)
+			if policy == layers.Adaptive {
+				// A deployed system has history; warm the estimators.
+				w.Warm(10)
+			}
+			o := w.OpenShare(policy, target, 5*sim.Second)
+			status := "ERROR"
+			if o.OK {
+				status = "ok"
+			}
+			fmt.Printf("%-10s %-16s %-8s %-16v %s\n", policy, target, status, o.Elapsed, o.Detail)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("static   : the paper's observation — \"recovering from a typing error")
+	fmt.Println("           can take over a minute!\" (TCP's 93 s SYN backoff is the last")
+	fmt.Println("           layer standing).")
+	fmt.Println("budgeted : one user-level deadline propagates through every layer")
+	fmt.Println("           (Section 5.2 provenance): errors surface exactly on budget.")
+	fmt.Println("adaptive : each layer times out at the 99% quantile of its own observed")
+	fmt.Println("           latency (Section 5.1): errors surface in seconds, with no")
+	fmt.Println("           configuration at all.")
+}

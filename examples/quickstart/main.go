@@ -1,0 +1,78 @@
+// Quickstart: a tour of the timerstudy core facility — the redesigned timer
+// subsystem of the paper's Section 5 — on a deterministic simulated clock.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"timerstudy/internal/core"
+	"timerstudy/internal/sim"
+)
+
+func main() {
+	eng := sim.NewEngine(42)
+	fac := core.New(core.SimBackend{Eng: eng})
+
+	fmt.Println("== use-case interfaces (Section 5.4) ==")
+
+	// A periodic ticker: drift-free, with slack so it can batch with other
+	// imprecise timers.
+	ticker := fac.NewTicker("demo/housekeeping", sim.Second, 200*sim.Millisecond, func() {
+		fmt.Printf("  [%v] housekeeping tick\n", eng.Now())
+	})
+
+	// A timeout guard around an "operation": the Win32 auto-object idiom.
+	guard := fac.NewGuard(nil, "demo/fetch", core.Exact(1500*sim.Millisecond), func() {
+		fmt.Printf("  [%v] fetch TIMED OUT\n", eng.Now())
+	})
+	eng.After(700*sim.Millisecond, "fetch-done", func() {
+		if guard.Done() {
+			fmt.Printf("  [%v] fetch completed before its deadline\n", eng.Now())
+		}
+	})
+
+	// A watchdog kicked by activity: fires only when the activity stops.
+	wd := fac.NewWatchdog("demo/heartbeat", 800*sim.Millisecond, 0, func() {
+		fmt.Printf("  [%v] WATCHDOG: heartbeats stopped\n", eng.Now())
+	})
+	var beat func()
+	beat = func() {
+		wd.Kick()
+		if eng.Now() < sim.Time(2*sim.Second) {
+			eng.After(300*sim.Millisecond, "beat", beat)
+		}
+	}
+	eng.After(0, "beat", beat)
+
+	// A deferred action: runs after the resource has been quiet for 1 s.
+	lazy := fac.NewDeferred("demo/lazy-close", sim.Second, 0, func() {
+		fmt.Printf("  [%v] closing idle handles (deferred work)\n", eng.Now())
+	})
+	for _, at := range []sim.Duration{100, 400, 900} {
+		eng.After(at*sim.Millisecond, "touch", lazy.Touch)
+	}
+
+	eng.Run(sim.Time(4 * sim.Second))
+	ticker.Stop()
+
+	fmt.Println("\n== adaptive timeouts (Section 5.1) ==")
+	adapt := fac.NewAdaptiveTimeout("demo/rpc", 0.99, sim.Millisecond, 30*sim.Second)
+	fmt.Printf("  cold timeout (no history): %v\n", adapt.Current())
+	for i := 0; i < 200; i++ {
+		adapt.ObserveSuccess(sim.Duration(8+i%5) * sim.Millisecond)
+	}
+	fmt.Printf("  after 200 observed ~10 ms calls: %v (vs the arbitrary 30 s)\n", adapt.Current())
+	fmt.Printf("  3rd retry would use: %v (exponential backoff)\n", adapt.CurrentRetry(2))
+
+	fmt.Println("\n== declared timer relations (Section 5.2) ==")
+	fac.ArmOverlapping(core.EitherMayExpire, "demo/lookup", 10*sim.Second, 2*sim.Second, func(which int) {
+		fmt.Printf("  [%v] lookup timeout %d fired (the other was never armed)\n", eng.Now(), which)
+	})
+	eng.Run(eng.Now().Add(3 * sim.Second))
+
+	st := fac.Stats()
+	fmt.Printf("\nfacility stats: %d arms, %d fires, %d cancels, %d wakeups (%d coalesced, %d elided)\n",
+		st.Arms, st.Fires, st.Cancels, st.Wakeups, st.Coalesced, st.Elided)
+}

@@ -1,0 +1,3 @@
+module timerstudy
+
+go 1.22

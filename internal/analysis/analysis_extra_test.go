@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// Property: lifecycle reconstruction is well-formed for any op stream —
+// uses are in time order, no use starts before the previous ended, and
+// every non-dangling use has EndAt >= SetAt.
+func TestLifecycleWellFormedProperty(t *testing.T) {
+	check := func(ops []uint8, gaps []uint16) bool {
+		b := newTB()
+		now := sim.Duration(0)
+		n := len(ops)
+		if n > len(gaps) {
+			n = len(gaps)
+		}
+		for i := 0; i < n; i++ {
+			now += sim.Duration(gaps[i]) * sim.Microsecond
+			switch ops[i] % 4 {
+			case 0:
+				b.set(now, 1, sim.Duration(ops[i])*sim.Millisecond)
+			case 1:
+				b.cancel(now, 1)
+			case 2:
+				b.expire(now, 1)
+			case 3:
+				b.log(now, trace.OpInit, 1, 0, "test", 0)
+			}
+		}
+		ls := Lifecycles(b.tr)
+		for _, tl := range ls {
+			var prevEnd sim.Time = -1
+			for i, u := range tl.Uses {
+				if u.End != EndDangling {
+					if u.EndAt < u.SetAt {
+						return false
+					}
+					prevEnd = u.EndAt
+				}
+				if i > 0 && u.SetAt < tl.Uses[i-1].SetAt {
+					return false
+				}
+				_ = prevEnd
+				// Only the final use may dangle.
+				if u.End == EndDangling && i != len(tl.Uses)-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize's op counts always equal the record counts, whatever
+// the stream contains.
+func TestSummarizeConsistencyProperty(t *testing.T) {
+	check := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := newTB()
+		var sets, cancels, expires uint64
+		for i := 0; i < int(n); i++ {
+			id := uint64(rng.Intn(5) + 1)
+			switch rng.Intn(4) {
+			case 0, 1:
+				b.set(sim.Duration(i)*sim.Millisecond, id, sim.Second)
+				sets++
+			case 2:
+				b.cancel(sim.Duration(i)*sim.Millisecond, id)
+				cancels++
+			case 3:
+				b.expire(sim.Duration(i)*sim.Millisecond, id)
+				expires++
+			}
+		}
+		s := Summarize(b.tr)
+		return s.Set == sets && s.Canceled == cancels && s.Expired == expires &&
+			s.Accesses == sets+cancels+expires
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrencyTracksReSets(t *testing.T) {
+	// A re-set (set on a pending timer) must not double-count concurrency.
+	b := newTB()
+	b.set(0, 1, 10*sim.Second)
+	b.set(sim.Second, 1, 10*sim.Second)
+	b.set(2*sim.Second, 1, 10*sim.Second)
+	if s := Summarize(b.tr); s.Concurrency != 1 {
+		t.Fatalf("concurrency = %d", s.Concurrency)
+	}
+}
+
+func TestClassifyWaitRecords(t *testing.T) {
+	// Thread waits (OpWait) behave like sets for classification: a wait
+	// loop that always times out with the same value is periodic-ish.
+	b := newTB()
+	t0 := sim.Duration(0)
+	for i := 0; i < 10; i++ {
+		b.log(t0, trace.OpWait, 1, 250*sim.Millisecond, "svc/wait", trace.FlagUser)
+		t0 += 250 * sim.Millisecond
+		b.log(t0, trace.OpExpire, 1, 0, "svc/wait", trace.FlagUser)
+	}
+	tl := lifeOf(t, b.tr, 1)
+	if !tl.Uses[0].IsWait {
+		t.Fatal("wait flag lost")
+	}
+	if c := Classify(tl); c != ClassPeriodic {
+		t.Fatalf("class = %v", c)
+	}
+}
+
+func TestCountdownChainBrokenByRestart(t *testing.T) {
+	// Two countdown runs separated by a restart at the full value: two
+	// chains, not one.
+	b := newTB()
+	t0 := sim.Duration(0)
+	emit := func(start sim.Duration, steps int) {
+		v := start
+		for i := 0; i < steps; i++ {
+			b.log(t0, trace.OpSet, 1, v, "Xorg/select", trace.FlagUser)
+			b.log(t0+10*sim.Second, trace.OpCancel, 1, 0, "Xorg/select", trace.FlagUser)
+			t0 += 10 * sim.Second
+			v -= 10 * sim.Second
+		}
+	}
+	emit(60*sim.Second, 4)
+	emit(60*sim.Second, 4)
+	chains := CountdownChains(lifeOf(t, b.tr, 1))
+	if len(chains) != 2 {
+		t.Fatalf("chains = %+v", chains)
+	}
+}
+
+func TestValueOptionsZeroTimeoutBin(t *testing.T) {
+	// Zero timeouts (poll(0)) land in a distinct zero bin and are never
+	// jiffy-rounded to one tick.
+	b := newTB()
+	for i := 0; i < 10; i++ {
+		b.log(sim.Duration(i)*sim.Second, trace.OpSet, 1, 0, "skype/poll", trace.FlagUser)
+	}
+	entries, total := CommonValues(Lifecycles(b.tr), ValueOptions{UserOnly: true, MinSharePercent: 2})
+	if total != 10 || len(entries) != 1 || entries[0].Value != 0 {
+		t.Fatalf("entries = %+v total = %d", entries, total)
+	}
+}
+
+func TestScatterRespectsExclusions(t *testing.T) {
+	b := newTB()
+	b.log(0, trace.OpSet, 1, sim.Second, "Xorg/select", trace.FlagUser)
+	b.log(sim.Duration(sim.Second), trace.OpExpire, 1, 0, "Xorg/select", trace.FlagUser)
+	opts := DefaultScatterOptions()
+	opts.ExcludeProcesses = []string{"Xorg"}
+	if pts := Scatter(Lifecycles(b.tr), opts); len(pts) != 0 {
+		t.Fatalf("excluded process leaked into scatter: %+v", pts)
+	}
+}
+
+func TestSetRatesIgnoresOutOfRange(t *testing.T) {
+	b := newTB()
+	b.set(sim.Duration(5)*sim.Second, 1, sim.Second) // beyond a 3 s window
+	series := SetRates(b.tr, 3*sim.Second, func(trace.Record, string) string { return "g" })
+	for _, s := range series {
+		for _, v := range s.PerSecond {
+			if v != 0 {
+				t.Fatalf("out-of-range record counted: %+v", series)
+			}
+		}
+	}
+}
+
+func TestOriginTableMinSetsFilter(t *testing.T) {
+	b := newTB()
+	mkPeriodic(b, 1, sim.Second, 3)
+	if rows := OriginTable(Lifecycles(b.tr), 100); len(rows) != 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}

@@ -1,0 +1,495 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// traceBuilder makes hand-written traces terse.
+type traceBuilder struct {
+	tr *trace.Buffer
+}
+
+func newTB() *traceBuilder { return &traceBuilder{tr: trace.NewBuffer(1 << 16)} }
+
+func (b *traceBuilder) log(t sim.Duration, op trace.Op, id uint64, timeout sim.Duration, origin string, flags trace.Flags) {
+	b.tr.Log(trace.Record{
+		T: sim.Time(t), Op: op, TimerID: id, Timeout: int64(timeout),
+		Origin: b.tr.Origin(origin), Flags: flags,
+	})
+}
+
+func (b *traceBuilder) set(t sim.Duration, id uint64, timeout sim.Duration) {
+	b.log(t, trace.OpSet, id, timeout, "test", 0)
+}
+func (b *traceBuilder) expire(t sim.Duration, id uint64) {
+	b.log(t, trace.OpExpire, id, 0, "test", 0)
+}
+func (b *traceBuilder) cancel(t sim.Duration, id uint64) {
+	b.log(t, trace.OpCancel, id, 0, "test", 0)
+}
+
+func lifeOf(t *testing.T, tr *trace.Buffer, id uint64) *TimerLife {
+	t.Helper()
+	for _, tl := range Lifecycles(tr) {
+		if tl.ID == id {
+			return tl
+		}
+	}
+	t.Fatalf("no lifecycle for id %d", id)
+	return nil
+}
+
+func TestLifecycleBasic(t *testing.T) {
+	b := newTB()
+	b.set(0, 1, sim.Second)
+	b.expire(sim.Second, 1)
+	b.set(2*sim.Second, 1, sim.Second)
+	b.cancel(2500*sim.Millisecond, 1)
+	b.cancel(2600*sim.Millisecond, 1) // no-op cancel: access only
+	tl := lifeOf(t, b.tr, 1)
+	if len(tl.Uses) != 2 {
+		t.Fatalf("uses = %d", len(tl.Uses))
+	}
+	if tl.Uses[0].End != EndExpired || tl.Uses[0].Elapsed() != sim.Second {
+		t.Fatalf("use0 = %+v", tl.Uses[0])
+	}
+	if tl.Uses[1].End != EndCanceled || tl.Uses[1].Elapsed() != 500*sim.Millisecond {
+		t.Fatalf("use1 = %+v", tl.Uses[1])
+	}
+	if tl.Ops != 5 {
+		t.Fatalf("ops = %d", tl.Ops)
+	}
+	if r, ok := tl.Uses[1].Ratio(); !ok || r != 0.5 {
+		t.Fatalf("ratio = %v %v", r, ok)
+	}
+}
+
+func TestLifecycleResetDetection(t *testing.T) {
+	b := newTB()
+	b.set(0, 1, 10*sim.Second)
+	b.set(5*sim.Second, 1, 10*sim.Second) // re-armed before expiry
+	b.expire(15*sim.Second, 1)
+	tl := lifeOf(t, b.tr, 1)
+	if len(tl.Uses) != 2 {
+		t.Fatalf("uses = %d", len(tl.Uses))
+	}
+	if tl.Uses[0].End != EndReset {
+		t.Fatalf("use0.End = %v", tl.Uses[0].End)
+	}
+	if tl.Uses[1].End != EndExpired {
+		t.Fatalf("use1.End = %v", tl.Uses[1].End)
+	}
+}
+
+func TestLifecycleDanglingUse(t *testing.T) {
+	b := newTB()
+	b.set(0, 1, sim.Hour)
+	tl := lifeOf(t, b.tr, 1)
+	if tl.Uses[0].End != EndDangling {
+		t.Fatal("expected dangling")
+	}
+	if _, ok := tl.Uses[0].Ratio(); ok {
+		t.Fatal("dangling use has a ratio")
+	}
+}
+
+// mkPeriodic builds n expiry-and-immediate-reset cycles.
+func mkPeriodic(b *traceBuilder, id uint64, period sim.Duration, n int) {
+	t := sim.Duration(0)
+	for i := 0; i < n; i++ {
+		b.set(t, id, period)
+		t += period
+		b.expire(t, id)
+	}
+}
+
+func TestClassifyPeriodic(t *testing.T) {
+	b := newTB()
+	mkPeriodic(b, 1, sim.Second, 10)
+	if c := Classify(lifeOf(t, b.tr, 1)); c != ClassPeriodic {
+		t.Fatalf("class = %v", c)
+	}
+}
+
+func TestClassifyWatchdog(t *testing.T) {
+	b := newTB()
+	// Reset every 2 s with a 10 s timeout; never expires.
+	for i := 0; i < 10; i++ {
+		b.set(sim.Duration(i)*2*sim.Second, 1, 10*sim.Second)
+	}
+	b.cancel(21*sim.Second, 1)
+	if c := Classify(lifeOf(t, b.tr, 1)); c != ClassWatchdog {
+		t.Fatalf("class = %v", c)
+	}
+}
+
+func TestClassifyDelay(t *testing.T) {
+	b := newTB()
+	// Expires, then re-set after a long gap, same value.
+	t0 := sim.Duration(0)
+	for i := 0; i < 6; i++ {
+		b.set(t0, 1, sim.Second)
+		b.expire(t0+sim.Second, 1)
+		t0 += 10 * sim.Second // non-trivial gap
+	}
+	if c := Classify(lifeOf(t, b.tr, 1)); c != ClassDelay {
+		t.Fatalf("class = %v", c)
+	}
+}
+
+func TestClassifyTimeout(t *testing.T) {
+	b := newTB()
+	// Canceled shortly after set, re-set later: RPC-style timeout.
+	t0 := sim.Duration(0)
+	for i := 0; i < 8; i++ {
+		b.set(t0, 1, 30*sim.Second)
+		b.cancel(t0+120*sim.Millisecond, 1)
+		t0 += 5 * sim.Second
+	}
+	if c := Classify(lifeOf(t, b.tr, 1)); c != ClassTimeout {
+		t.Fatalf("class = %v", c)
+	}
+}
+
+func TestClassifyDeferred(t *testing.T) {
+	b := newTB()
+	// Vista lazy-close: deferred thrice, expires, restarts.
+	t0 := sim.Duration(0)
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 3; i++ {
+			b.set(t0, 1, 5*sim.Second)
+			t0 += 2 * sim.Second
+		}
+		b.set(t0, 1, 5*sim.Second)
+		t0 += 5 * sim.Second
+		b.expire(t0, 1)
+		t0 += 20 * sim.Second
+	}
+	if c := Classify(lifeOf(t, b.tr, 1)); c != ClassDeferred {
+		t.Fatalf("class = %v", c)
+	}
+}
+
+func TestClassifyOtherIrregular(t *testing.T) {
+	b := newTB()
+	// Wildly varying values: select-loop style.
+	vals := []sim.Duration{600 * sim.Second, 420 * sim.Second, 100 * sim.Second, 3 * sim.Second}
+	t0 := sim.Duration(0)
+	for _, v := range vals {
+		b.set(t0, 1, v)
+		b.cancel(t0+sim.Second, 1)
+		t0 += 2 * sim.Second
+	}
+	if c := Classify(lifeOf(t, b.tr, 1)); c != ClassOther {
+		t.Fatalf("class = %v", c)
+	}
+}
+
+func TestClassifySingleUseIsOther(t *testing.T) {
+	b := newTB()
+	b.set(0, 1, sim.Second)
+	b.expire(sim.Second, 1)
+	if c := Classify(lifeOf(t, b.tr, 1)); c != ClassOther {
+		t.Fatalf("class = %v", c)
+	}
+}
+
+func TestClassifyJitterTolerated(t *testing.T) {
+	b := newTB()
+	// Periodic with ±1.5 ms jitter on the value: still periodic.
+	t0 := sim.Duration(0)
+	for i := 0; i < 8; i++ {
+		v := sim.Second + sim.Duration(i%2)*1500*sim.Microsecond
+		b.set(t0, 1, v)
+		t0 += sim.Second
+		b.expire(t0, 1)
+	}
+	if c := Classify(lifeOf(t, b.tr, 1)); c != ClassPeriodic {
+		t.Fatalf("class = %v", c)
+	}
+}
+
+func TestComputeClassShares(t *testing.T) {
+	b := newTB()
+	mkPeriodic(b, 1, sim.Second, 5)
+	mkPeriodic(b, 2, 2*sim.Second, 5)
+	for i := 0; i < 5; i++ {
+		b.set(sim.Duration(i)*sim.Second, 3, 10*sim.Second)
+	}
+	s := ComputeClassShares(Lifecycles(b.tr))
+	if s.Total != 3 {
+		t.Fatalf("total = %d", s.Total)
+	}
+	if s.Counts[ClassPeriodic] != 2 || s.Counts[ClassWatchdog] != 1 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+	if s.Share(ClassPeriodic) < 66 || s.Share(ClassPeriodic) > 67 {
+		t.Fatalf("share = %v", s.Share(ClassPeriodic))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := newTB()
+	b.log(0, trace.OpSet, 1, sim.Second, "kernel/x", 0)
+	b.log(sim.Millisecond, trace.OpSet, 2, sim.Second, "app/select", trace.FlagUser)
+	b.log(2*sim.Millisecond, trace.OpSet, 3, sim.Second, "kernel/y", 0)
+	b.log(500*sim.Millisecond, trace.OpCancel, 2, 0, "app/select", trace.FlagUser)
+	b.log(sim.Second, trace.OpExpire, 1, 0, "kernel/x", 0)
+	b.log(sim.Second, trace.OpExpire, 3, 0, "kernel/y", 0)
+	s := Summarize(b.tr)
+	if s.Timers != 3 {
+		t.Fatalf("timers = %d", s.Timers)
+	}
+	if s.Concurrency != 3 {
+		t.Fatalf("concurrency = %d", s.Concurrency)
+	}
+	if s.Accesses != 6 || s.UserSpace != 2 || s.Kernel != 4 {
+		t.Fatalf("accesses = %+v", s)
+	}
+	if s.Set != 3 || s.Expired != 2 || s.Canceled != 1 {
+		t.Fatalf("ops = %+v", s)
+	}
+}
+
+func TestCountdownDetection(t *testing.T) {
+	b := newTB()
+	// select(60s) interrupted at 10s intervals: 60, 50, 40... the X idiom.
+	v := 60 * sim.Second
+	t0 := sim.Duration(0)
+	var id uint64 = 1
+	for v > 0 {
+		b.log(t0, trace.OpSet, id, v, "Xorg/select", trace.FlagUser)
+		b.log(t0+10*sim.Second, trace.OpCancel, id, 0, "Xorg/select", trace.FlagUser)
+		t0 += 10 * sim.Second
+		v -= 10 * sim.Second
+	}
+	tl := lifeOf(t, b.tr, 1)
+	chains := CountdownChains(tl)
+	if len(chains) != 1 {
+		t.Fatalf("chains = %+v", chains)
+	}
+	if chains[0].Len() != 6 {
+		t.Fatalf("chain len = %d", chains[0].Len())
+	}
+}
+
+func TestCountdownNotConfusedWithWatchdog(t *testing.T) {
+	b := newTB()
+	// Watchdog: same value re-set; must NOT be a countdown.
+	for i := 0; i < 5; i++ {
+		b.set(sim.Duration(i)*sim.Second, 1, 10*sim.Second)
+	}
+	if chains := CountdownChains(lifeOf(t, b.tr, 1)); len(chains) != 0 {
+		t.Fatalf("watchdog detected as countdown: %+v", chains)
+	}
+}
+
+func TestCommonValuesCollapseAndFilter(t *testing.T) {
+	b := newTB()
+	// Xorg countdown from 600 s (6 sets), plus a kernel 5 s timer with 10
+	// sets, plus an icewm constant.
+	v := 600 * sim.Second
+	t0 := sim.Duration(0)
+	for i := 0; i < 6; i++ {
+		b.log(t0, trace.OpSet, 1, v, "Xorg/select", trace.FlagUser)
+		b.log(t0+100*sim.Second, trace.OpCancel, 1, 0, "Xorg/select", trace.FlagUser)
+		t0 += 100 * sim.Second
+		v -= 100 * sim.Second
+	}
+	for i := 0; i < 10; i++ {
+		b.log(sim.Duration(i)*10*sim.Second, trace.OpSet, 2, 5*sim.Second, "kernel/writeback", 0)
+		b.log(sim.Duration(i)*10*sim.Second+5*sim.Second, trace.OpExpire, 2, 0, "kernel/writeback", 0)
+	}
+	b.log(0, trace.OpSet, 3, 10*sim.Second, "icewm/select", trace.FlagUser)
+	ls := Lifecycles(b.tr)
+
+	// Unfiltered, uncollapsed: 17 samples, countdown spread present.
+	entries, total := CommonValues(ls, ValueOptions{JiffyBinKernel: true, MinSharePercent: 2})
+	if total != 17 {
+		t.Fatalf("total = %d", total)
+	}
+	if len(entries) < 7 {
+		t.Fatalf("entries = %+v", entries)
+	}
+
+	// Collapsed + X/icewm filtered: only the kernel 5 s remains.
+	entries, total = CommonValues(ls, ValueOptions{
+		JiffyBinKernel: true, MinSharePercent: 2,
+		CollapseCountdowns: true,
+		ExcludeProcesses:   []string{"Xorg", "icewm"},
+	})
+	if total != 10 {
+		t.Fatalf("filtered total = %d", total)
+	}
+	if len(entries) != 1 || entries[0].Value != 5*sim.Second || entries[0].Jiffies != 1250 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Share != 100 {
+		t.Fatalf("share = %v", entries[0].Share)
+	}
+}
+
+func TestCommonValuesUserOnly(t *testing.T) {
+	b := newTB()
+	b.log(0, trace.OpSet, 1, sim.Second, "kernel/x", 0)
+	b.log(0, trace.OpSet, 2, 500*sim.Millisecond, "skype/select", trace.FlagUser)
+	ls := Lifecycles(b.tr)
+	entries, total := CommonValues(ls, ValueOptions{UserOnly: true, MinSharePercent: 2})
+	if total != 1 || len(entries) != 1 || entries[0].Value != 500*sim.Millisecond {
+		t.Fatalf("entries = %+v total=%d", entries, total)
+	}
+}
+
+func TestCommonValuesDistinguishesSkypeHalfSecond(t *testing.T) {
+	// 0.4999 and 0.5 must stay distinct bins (Figure 6's Skype oddity).
+	b := newTB()
+	for i := 0; i < 10; i++ {
+		b.log(sim.Duration(i)*sim.Second, trace.OpSet, 1, 499900*sim.Microsecond, "skype/select", trace.FlagUser)
+		b.log(sim.Duration(i)*sim.Second, trace.OpSet, 2, 500*sim.Millisecond, "skype/poll", trace.FlagUser)
+	}
+	entries, _ := CommonValues(Lifecycles(b.tr), ValueOptions{UserOnly: true, MinSharePercent: 2})
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestScatterAggregation(t *testing.T) {
+	b := newTB()
+	// 100 periodic 1 s expiries at 100 % and one early cancel at 50 %.
+	mkPeriodic(b, 1, sim.Second, 100)
+	b.set(200*sim.Second, 2, sim.Second)
+	b.cancel(200*sim.Second+500*sim.Millisecond, 2)
+	pts := Scatter(Lifecycles(b.tr), DefaultScatterOptions())
+	var at100, at50 int
+	for _, p := range pts {
+		if p.RatioPct == 100 {
+			at100 += p.Count
+		}
+		if p.RatioPct == 50 {
+			at50 += p.Count
+		}
+	}
+	if at100 != 100 || at50 != 1 {
+		t.Fatalf("at100=%d at50=%d (%+v)", at100, at50, pts)
+	}
+}
+
+func TestScatterCutoff(t *testing.T) {
+	b := newTB()
+	// 1 ms timeout delivered 15 ms late: 1500 % — cut off.
+	b.set(0, 1, sim.Millisecond)
+	b.expire(15*sim.Millisecond, 1)
+	pts := Scatter(Lifecycles(b.tr), DefaultScatterOptions())
+	if len(pts) != 0 {
+		t.Fatalf("points above cutoff survived: %+v", pts)
+	}
+}
+
+func TestSetRates(t *testing.T) {
+	b := newTB()
+	for i := 0; i < 10; i++ {
+		b.log(sim.Duration(i)*100*sim.Millisecond, trace.OpSet, 1, sim.Second, "outlook/wm_timer", trace.FlagUser)
+	}
+	b.log(1500*sim.Millisecond, trace.OpSet, 2, sim.Second, "kernel/x", 0)
+	series := SetRates(b.tr, 3*sim.Second, func(r trace.Record, origin string) string {
+		if strings.HasPrefix(origin, "outlook") {
+			return "Outlook"
+		}
+		return "Kernel"
+	})
+	if len(series) != 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	var outlook, kern RateSeries
+	for _, s := range series {
+		switch s.Group {
+		case "Outlook":
+			outlook = s
+		case "Kernel":
+			kern = s
+		}
+	}
+	if outlook.PerSecond[0] != 10 || outlook.Peak() != 10 {
+		t.Fatalf("outlook = %+v", outlook)
+	}
+	if kern.PerSecond[1] != 1 {
+		t.Fatalf("kernel = %+v", kern)
+	}
+	if outlook.Mean() < 3.2 || outlook.Mean() > 3.5 {
+		t.Fatalf("mean = %v", outlook.Mean())
+	}
+}
+
+func TestOriginTable(t *testing.T) {
+	b := newTB()
+	mkPeriodic(b, 1, 5*sim.Second, 20)
+	// give timer 1 a distinctive origin
+	for i := range b.tr.Records() {
+		r := &b.tr.Records()[i]
+		r.Origin = b.tr.Origin("kernel/writeback")
+	}
+	rows := OriginTable(Lifecycles(b.tr), 5)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.Origin != "kernel/writeback" || r.Class != ClassPeriodic || r.Value != 5*sim.Second {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.Sets != 20 || r.Timers != 1 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	b := newTB()
+	mkPeriodic(b, 1, sim.Second, 10)
+	ls := Lifecycles(b.tr)
+	sum := Summarize(b.tr)
+	if s := RenderSummaryTable("T", []string{"Idle"}, []Summary{sum}); !strings.Contains(s, "Accesses") {
+		t.Fatal("summary render broken")
+	}
+	if s := RenderClassShares([]string{"Idle"}, []ClassShares{ComputeClassShares(ls)}); !strings.Contains(s, "periodic") {
+		t.Fatal("class render broken")
+	}
+	entries, _ := CommonValues(ls, ValueOptions{JiffyBinKernel: true, MinSharePercent: 2})
+	if s := RenderValues(entries); !strings.Contains(s, "1") {
+		t.Fatal("values render broken")
+	}
+	if s := RenderScatter(Scatter(ls, DefaultScatterOptions())); !strings.Contains(s, "100%") {
+		t.Fatal("scatter render broken")
+	}
+	pts := SetSeries(ls, "test")
+	if s := RenderSeries(pts, 20*sim.Second); !strings.Contains(s, "*") {
+		t.Fatal("series render broken")
+	}
+	rows := OriginTable(ls, 1)
+	if s := RenderOrigins(rows); !strings.Contains(s, "test") {
+		t.Fatal("origins render broken")
+	}
+}
+
+func TestSortByOps(t *testing.T) {
+	b := newTB()
+	mkPeriodic(b, 1, sim.Second, 2)
+	mkPeriodic(b, 2, sim.Second, 10)
+	ls := Lifecycles(b.tr)
+	SortByOps(ls)
+	if ls[0].ID != 2 {
+		t.Fatalf("order = %d, %d", ls[0].ID, ls[1].ID)
+	}
+}
+
+func TestSetSeriesOrdering(t *testing.T) {
+	b := newTB()
+	b.log(2*sim.Second, trace.OpSet, 1, sim.Second, "Xorg/select", trace.FlagUser)
+	b.log(1*sim.Second, trace.OpSet, 2, 2*sim.Second, "Xorg/select2", trace.FlagUser)
+	pts := SetSeries(Lifecycles(b.tr), "Xorg")
+	if len(pts) != 2 || pts[0].T > pts[1].T {
+		t.Fatalf("pts = %+v", pts)
+	}
+}

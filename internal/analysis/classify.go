@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"sort"
+
+	"timerstudy/internal/sim"
+)
+
+// Class is the Section 4.1.1 usage-pattern taxonomy.
+type Class uint8
+
+const (
+	// ClassOther is the fall-through: irregular values, countdown chains,
+	// single uses — the select-loop idioms the paper discusses.
+	ClassOther Class = iota
+	// ClassPeriodic: always expires and is immediately re-set to the same
+	// relative value (page-out timer, work queues).
+	ClassPeriodic
+	// ClassWatchdog: never expires; endlessly re-set to the same relative
+	// value before expiry (console blank timeout).
+	ClassWatchdog
+	// ClassDelay: usually expires and is set again to the same value after
+	// a non-trivial gap (threads delaying execution).
+	ClassDelay
+	// ClassTimeout: almost never expires; canceled shortly after being
+	// set, then set again later to the same value (RPC calls, IDE
+	// commands).
+	ClassTimeout
+	// ClassDeferred: the Vista pattern — repeatedly deferred like a
+	// watchdog, but expiring after a few iterations, then restarted (lazy
+	// registry handle closing).
+	ClassDeferred
+	nClasses
+)
+
+var classNames = [...]string{"other", "periodic", "watchdog", "delay", "timeout", "deferred"}
+
+// String returns the lower-case class name.
+func (c Class) String() string { return classNames[c] }
+
+// Classes lists all classes in display order (matching Figure 2 plus the
+// Vista-only deferred class).
+func Classes() []Class {
+	return []Class{ClassDelay, ClassPeriodic, ClassTimeout, ClassWatchdog, ClassDeferred, ClassOther}
+}
+
+// Classify assigns one timer lifecycle to a usage pattern, following the
+// paper's rules: the timer must be used repeatedly with a constant relative
+// value (within the 2 ms jitter tolerance), and the outcome mix plus re-set
+// gaps decide the class.
+func Classify(tl *TimerLife) Class {
+	uses := tl.Uses
+	// Drop a trailing dangling use: it says nothing about the pattern.
+	if n := len(uses); n > 0 && uses[n-1].End == EndDangling {
+		uses = uses[:n-1]
+	}
+	if len(uses) < 2 {
+		return ClassOther
+	}
+	if !constantValue(uses) {
+		return ClassOther
+	}
+	var expired, canceled, reset int
+	for _, u := range uses {
+		switch u.End {
+		case EndExpired:
+			expired++
+		case EndCanceled:
+			canceled++
+		case EndReset:
+			reset++
+		}
+	}
+	total := len(uses)
+	switch {
+	case expired == 0 && reset > 0 && reset >= canceled:
+		// Endlessly deferred, never fires.
+		return ClassWatchdog
+	case reset > 0 && expired > 0 && canceled*10 <= total:
+		// Deferred a few times, then expires, then restarts.
+		return ClassDeferred
+	case expired*10 >= total*9: // ≥90% expire
+		if immediateResetFraction(uses) >= 0.8 {
+			return ClassPeriodic
+		}
+		return ClassDelay
+	case canceled*10 >= total*8 && mostlyEarlyCancel(uses):
+		return ClassTimeout
+	default:
+		return ClassOther
+	}
+}
+
+// constantValue reports whether the requested timeouts are "always set to
+// the same value" in the paper's sense: at least 90 % of them within the
+// 2 ms jitter tolerance of the median. The slack absorbs the odd
+// out-of-phase first arming without letting genuinely variable timers
+// (countdowns, adaptive timeouts) through.
+func constantValue(uses []Use) bool {
+	vals := make([]sim.Duration, len(uses))
+	for i, u := range uses {
+		vals[i] = u.Timeout
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	median := vals[len(vals)/2]
+	within := 0
+	for _, v := range vals {
+		d := v - median
+		if d < 0 {
+			d = -d
+		}
+		if d <= JitterTolerance {
+			within++
+		}
+	}
+	return within*10 >= len(vals)*9
+}
+
+// immediateResetFraction is the share of expiries followed by a re-set
+// within the jitter tolerance — the signature of a periodic ticker
+// ("the timer always expires, and is immediately re-set").
+func immediateResetFraction(uses []Use) float64 {
+	expiries, immediate := 0, 0
+	for i, u := range uses {
+		if u.End != EndExpired {
+			continue
+		}
+		expiries++
+		if i+1 < len(uses) && uses[i+1].SetAt.Sub(u.EndAt) <= JitterTolerance {
+			immediate++
+		}
+	}
+	if expiries == 0 {
+		return 0
+	}
+	return float64(immediate) / float64(expiries)
+}
+
+// mostlyEarlyCancel reports whether canceled uses typically end well before
+// their timeout — the timeout pattern ("almost never expires but instead is
+// canceled shortly after being set").
+func mostlyEarlyCancel(uses []Use) bool {
+	n, early := 0, 0
+	for _, u := range uses {
+		if u.End != EndCanceled {
+			continue
+		}
+		n++
+		if u.Timeout > 0 && u.Elapsed() < u.Timeout-sim.Duration(JitterTolerance) {
+			early++
+		}
+	}
+	return n > 0 && early*10 >= n*8
+}
+
+// ClassShares computes, per class, the percentage of timers in that class —
+// Figure 2's y-axis. Lifecycles with no uses at all (init-only) are skipped.
+type ClassShares struct {
+	// Counts per class.
+	Counts [nClasses]int
+	// Total classified timers.
+	Total int
+}
+
+// Share returns the percentage for one class.
+func (s ClassShares) Share(c Class) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Counts[c]) / float64(s.Total)
+}
+
+// ComputeClassShares classifies every lifecycle and tallies shares.
+func ComputeClassShares(ls []*TimerLife) ClassShares {
+	var s ClassShares
+	for _, tl := range ls {
+		if len(tl.Uses) == 0 {
+			continue
+		}
+		s.Counts[Classify(tl)]++
+		s.Total++
+	}
+	return s
+}

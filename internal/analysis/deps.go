@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"sort"
+
+	"timerstudy/internal/sim"
+)
+
+// Section 5.2 asks for "inferring, or allowing programmers to explicitly
+// declare, such relationships between timers". The core library implements
+// declaration; this file implements inference: mining a trace for timer
+// pairs whose operations are systematically coupled.
+//
+// Two relation kinds are detectable from operation timing alone:
+//
+//   - dependency (t2 depends upon t1): t2 is set within a small window
+//     after t1 ends (expiry or cancelation), consistently — retry chains,
+//     stage-after-stage protocol timers;
+//   - overlap: t1 and t2 are set together and end together, consistently —
+//     multiple guards watching the same activity (the paper's case 1c,
+//     e.g. TCP keepalive vs retransmission), which a redesigned facility
+//     could collapse into fewer registrations.
+
+// RelationKind classifies an inferred relation.
+type RelationKind uint8
+
+const (
+	// RelDependsOn: To is set when From ends.
+	RelDependsOn RelationKind = iota
+	// RelOverlaps: From and To are set and ended together.
+	RelOverlaps
+)
+
+var relNames = [...]string{"depends-on", "overlaps"}
+
+// String returns the relation name.
+func (k RelationKind) String() string { return relNames[k] }
+
+// InferredRelation is one mined relationship between two timers.
+type InferredRelation struct {
+	// From and To are the related timers (To depends on From, or the two
+	// overlap).
+	From, To *TimerLife
+	// Kind classifies the relation.
+	Kind RelationKind
+	// Support counts matched occurrences.
+	Support int
+	// Confidence is matched occurrences over opportunities (0..1).
+	Confidence float64
+}
+
+// InferOptions tunes the mining.
+type InferOptions struct {
+	// Window is the co-occurrence window (default 10 ms).
+	Window sim.Duration
+	// MinSupport is the minimum matched occurrences (default 5).
+	MinSupport int
+	// MinConfidence is the minimum match ratio (default 0.7).
+	MinConfidence float64
+	// MaxTimers caps the pairs considered, taking the most-used timers
+	// (default 128; inference is O(T² log E)).
+	MaxTimers int
+}
+
+func (o *InferOptions) defaults() {
+	if o.Window <= 0 {
+		o.Window = 10 * sim.Millisecond
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = 5
+	}
+	if o.MinConfidence <= 0 {
+		o.MinConfidence = 0.7
+	}
+	if o.MaxTimers <= 0 {
+		o.MaxTimers = 128
+	}
+}
+
+// timerEvents caches a timer's sorted operation instants.
+type timerEvents struct {
+	tl   *TimerLife
+	sets []sim.Time
+	ends []sim.Time // expiries and cancels (not re-sets)
+}
+
+func eventsOf(tl *TimerLife) timerEvents {
+	ev := timerEvents{tl: tl}
+	for _, u := range tl.Uses {
+		ev.sets = append(ev.sets, u.SetAt)
+		if u.End == EndExpired || u.End == EndCanceled {
+			ev.ends = append(ev.ends, u.EndAt)
+		}
+	}
+	return ev
+}
+
+// countNear returns how many instants in `times` fall within [t, t+w]
+// (forward) or [t-w, t+w] (bidirectional).
+func countMatches(anchors, times []sim.Time, w sim.Duration, bidirectional bool) int {
+	matches := 0
+	for _, a := range anchors {
+		lo := a
+		if bidirectional {
+			lo = a.Add(-w)
+		}
+		hi := a.Add(w)
+		i := sort.Search(len(times), func(i int) bool { return times[i] >= lo })
+		if i < len(times) && times[i] <= hi {
+			matches++
+		}
+	}
+	return matches
+}
+
+// InferRelations mines the lifecycles for coupled timer pairs.
+func InferRelations(ls []*TimerLife, opts InferOptions) []InferredRelation {
+	opts.defaults()
+	// Take the most-used timers with at least a handful of uses.
+	cand := make([]*TimerLife, 0, len(ls))
+	for _, tl := range ls {
+		if len(tl.Uses) >= opts.MinSupport {
+			cand = append(cand, tl)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if len(cand[i].Uses) != len(cand[j].Uses) {
+			return len(cand[i].Uses) > len(cand[j].Uses)
+		}
+		return cand[i].ID < cand[j].ID
+	})
+	if len(cand) > opts.MaxTimers {
+		cand = cand[:opts.MaxTimers]
+	}
+	evs := make([]timerEvents, len(cand))
+	for i, tl := range cand {
+		evs[i] = eventsOf(tl)
+	}
+
+	var out []InferredRelation
+	for i := range evs {
+		for j := range evs {
+			if i == j {
+				continue
+			}
+			a, b := evs[i], evs[j]
+			// Dependency: b.sets follow a.ends.
+			if len(a.ends) >= opts.MinSupport && len(b.sets) > 0 {
+				m := countMatches(a.ends, b.sets, opts.Window, false)
+				conf := float64(m) / float64(len(a.ends))
+				explained := float64(m) / float64(len(b.sets))
+				if m >= opts.MinSupport && conf >= opts.MinConfidence && explained >= 0.5 {
+					out = append(out, InferredRelation{
+						From: a.tl, To: b.tl, Kind: RelDependsOn,
+						Support: m, Confidence: conf,
+					})
+				}
+			}
+			// Overlap (i<j once): sets co-occur and ends co-occur.
+			if i < j && len(a.sets) >= opts.MinSupport && len(b.sets) >= opts.MinSupport {
+				ms := countMatches(a.sets, b.sets, opts.Window, true)
+				me := countMatches(a.ends, b.ends, opts.Window, true)
+				confS := float64(ms) / float64(len(a.sets))
+				confE := 1.0
+				if len(a.ends) > 0 {
+					confE = float64(me) / float64(len(a.ends))
+				}
+				if ms >= opts.MinSupport && confS >= opts.MinConfidence && confE >= opts.MinConfidence {
+					conf := confS
+					if confE < conf {
+						conf = confE
+					}
+					out = append(out, InferredRelation{
+						From: a.tl, To: b.tl, Kind: RelOverlaps,
+						Support: ms, Confidence: conf,
+					})
+				}
+			}
+		}
+	}
+	// Suppress overlap pairs that are better explained as dependencies
+	// (a dependency at window scale also co-occurs).
+	dep := map[[2]uint64]bool{}
+	for _, r := range out {
+		if r.Kind == RelDependsOn {
+			dep[[2]uint64{r.From.ID, r.To.ID}] = true
+		}
+	}
+	filtered := out[:0]
+	for _, r := range out {
+		if r.Kind == RelOverlaps &&
+			(dep[[2]uint64{r.From.ID, r.To.ID}] || dep[[2]uint64{r.To.ID, r.From.ID}]) {
+			continue
+		}
+		filtered = append(filtered, r)
+	}
+	sort.Slice(filtered, func(i, j int) bool {
+		if filtered[i].Support != filtered[j].Support {
+			return filtered[i].Support > filtered[j].Support
+		}
+		if filtered[i].From.ID != filtered[j].From.ID {
+			return filtered[i].From.ID < filtered[j].From.ID
+		}
+		return filtered[i].To.ID < filtered[j].To.ID
+	})
+	return filtered
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"testing"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+func TestInferDependency(t *testing.T) {
+	// Classic retry chain: when timer 1 (stage A) ends, timer 2 (stage B)
+	// is set within a millisecond.
+	b := newTB()
+	t0 := sim.Duration(0)
+	for i := 0; i < 10; i++ {
+		b.set(t0, 1, sim.Second)
+		b.expire(t0+sim.Second, 1)
+		b.set(t0+sim.Second+500*sim.Microsecond, 2, 2*sim.Second)
+		b.cancel(t0+2*sim.Second, 2)
+		t0 += 10 * sim.Second
+	}
+	rels := InferRelations(Lifecycles(b.tr), InferOptions{})
+	found := false
+	for _, r := range rels {
+		if r.Kind == RelDependsOn && r.From.ID == 1 && r.To.ID == 2 {
+			found = true
+			if r.Support < 8 || r.Confidence < 0.8 {
+				t.Fatalf("weak relation: %+v", r)
+			}
+		}
+		if r.Kind == RelDependsOn && r.From.ID == 2 && r.To.ID == 1 {
+			// The reverse direction (1 set ~8s after 2 ends) must not
+			// match at a 10 ms window.
+			t.Fatalf("spurious reverse dependency: %+v", r)
+		}
+	}
+	if !found {
+		t.Fatalf("dependency not inferred: %+v", rels)
+	}
+}
+
+func TestInferOverlap(t *testing.T) {
+	// Two guards armed together and canceled together: the paper's case
+	// 1c (keepalive + retransmission watching the same liveness).
+	b := newTB()
+	t0 := sim.Duration(0)
+	for i := 0; i < 10; i++ {
+		b.set(t0, 1, 30*sim.Second)
+		b.set(t0+200*sim.Microsecond, 2, 60*sim.Second)
+		b.cancel(t0+sim.Second, 1)
+		b.cancel(t0+sim.Second+300*sim.Microsecond, 2)
+		t0 += 20 * sim.Second
+	}
+	rels := InferRelations(Lifecycles(b.tr), InferOptions{})
+	for _, r := range rels {
+		if r.Kind == RelOverlaps {
+			return
+		}
+	}
+	t.Fatalf("overlap not inferred: %+v", rels)
+}
+
+func TestNoRelationsBetweenIndependentTimers(t *testing.T) {
+	// Two periodic timers with incommensurate phases: nothing inferred.
+	b := newTB()
+	for i := 0; i < 30; i++ {
+		at := sim.Duration(i) * 1700 * sim.Millisecond
+		b.set(at, 1, 1700*sim.Millisecond)
+		b.expire(at+1700*sim.Millisecond, 1)
+	}
+	for i := 0; i < 40; i++ {
+		at := 333*sim.Millisecond + sim.Duration(i)*1300*sim.Millisecond
+		b.set(at, 2, 1300*sim.Millisecond)
+		b.expire(at+1300*sim.Millisecond, 2)
+	}
+	rels := InferRelations(Lifecycles(b.tr), InferOptions{})
+	for _, r := range rels {
+		if (r.From.ID == 1 && r.To.ID == 2) || (r.From.ID == 2 && r.To.ID == 1) {
+			t.Fatalf("spurious relation: %+v", r)
+		}
+	}
+}
+
+func TestInferDependencySuppressesDuplicateOverlap(t *testing.T) {
+	// A tight chain (end → set within the window) must be reported as a
+	// dependency, not doubly as an overlap.
+	b := newTB()
+	t0 := sim.Duration(0)
+	for i := 0; i < 10; i++ {
+		b.set(t0, 1, sim.Millisecond)
+		b.expire(t0+sim.Millisecond, 1)
+		b.set(t0+sim.Millisecond+100*sim.Microsecond, 2, sim.Millisecond)
+		b.expire(t0+2*sim.Millisecond, 2)
+		t0 += sim.Second
+	}
+	rels := InferRelations(Lifecycles(b.tr), InferOptions{})
+	for _, r := range rels {
+		if r.Kind == RelOverlaps && ((r.From.ID == 1 && r.To.ID == 2) || (r.From.ID == 2 && r.To.ID == 1)) {
+			t.Fatalf("dependency double-reported as overlap: %+v", rels)
+		}
+	}
+}
+
+func TestInferOnRealWebserverTrace(t *testing.T) {
+	// Smoke: the webserver's per-connection timers (keepalive, watchdog,
+	// delack families) are mutually coupled; inference should surface
+	// something without drowning in noise.
+	b := newTB()
+	// Simulate the per-request pattern: keepalive + watchdog set at
+	// accept; both canceled at close.
+	t0 := sim.Duration(0)
+	for i := 0; i < 50; i++ {
+		b.log(t0, trace.OpSet, 10, 7200*sim.Second, "kernel/tcp:keepalive", 0)
+		b.log(t0+100*sim.Microsecond, trace.OpSet, 11, 15*sim.Second, "apache2/poll", trace.FlagUser)
+		b.log(t0+80*sim.Millisecond, trace.OpCancel, 11, 0, "apache2/poll", trace.FlagUser)
+		b.log(t0+80*sim.Millisecond+200*sim.Microsecond, trace.OpCancel, 10, 0, "kernel/tcp:keepalive", 0)
+		t0 += sim.Second
+	}
+	rels := InferRelations(Lifecycles(b.tr), InferOptions{})
+	if len(rels) == 0 {
+		t.Fatal("nothing inferred from the per-connection pattern")
+	}
+	if len(rels) > 4 {
+		t.Fatalf("noise: %d relations", len(rels))
+	}
+}

@@ -1,0 +1,172 @@
+// Package analysis post-processes timer traces into the paper's results:
+// per-timer lifecycles, the Section 4.1.1 usage-pattern taxonomy, the
+// trace summaries of Tables 1-2, the common-value histograms of Figures 3
+// and 5-7 (with the select-countdown detection and X/icewm filtering of
+// Figures 4-5), the expiry/cancelation scatter of Figures 8-11, the
+// per-second set-rate series of Figure 1, and the origins table (Table 3).
+package analysis
+
+import (
+	"sort"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// JitterTolerance is the variance the paper allows when comparing timeout
+// values and re-set gaps: 2 ms, experimentally determined from the kernel
+// work-queue timer (Section 3.1).
+const JitterTolerance = 2 * sim.Millisecond
+
+// EndKind says how one armed interval of a timer ended.
+type EndKind uint8
+
+const (
+	// EndDangling: the trace finished while the timer was pending.
+	EndDangling EndKind = iota
+	// EndExpired: the timeout was delivered.
+	EndExpired
+	// EndCanceled: the timer was canceled (del_timer, KeCancelTimer,
+	// satisfied wait).
+	EndCanceled
+	// EndReset: the timer was re-armed before expiring (mod_timer on a
+	// pending timer) — the watchdog deferral operation.
+	EndReset
+)
+
+var endNames = [...]string{"dangling", "expired", "canceled", "reset"}
+
+// String returns the lower-case end-kind name.
+func (e EndKind) String() string { return endNames[e] }
+
+// Use is one armed interval in a timer's life.
+type Use struct {
+	// SetAt is when the timer was armed.
+	SetAt sim.Time
+	// Timeout is the relative timeout requested at arming.
+	Timeout sim.Duration
+	// EndAt is when the interval ended (expiry, cancel, or re-arm).
+	EndAt sim.Time
+	// End says how it ended.
+	End EndKind
+	// Satisfied marks cancels that ended a wait because the awaited object
+	// signaled.
+	Satisfied bool
+	// IsWait marks intervals from thread waits (OpWait).
+	IsWait bool
+}
+
+// Elapsed is the armed duration (zero for dangling uses).
+func (u Use) Elapsed() sim.Duration {
+	if u.End == EndDangling {
+		return 0
+	}
+	return u.EndAt.Sub(u.SetAt)
+}
+
+// Ratio is elapsed time as a fraction of the requested timeout; the y-axis
+// of Figures 8-11. Zero-timeout and dangling uses return false.
+func (u Use) Ratio() (float64, bool) {
+	if u.End == EndDangling || u.Timeout <= 0 {
+		return 0, false
+	}
+	return float64(u.Elapsed()) / float64(u.Timeout), true
+}
+
+// TimerLife is everything the trace says about one timer identity.
+type TimerLife struct {
+	// ID is the timer's trace identity.
+	ID uint64
+	// PID owns the timer (0 = kernel).
+	PID int32
+	// Origin is the resolved origin label.
+	Origin string
+	// User reports whether the timer's operations carried FlagUser.
+	User bool
+	// Deferrable mirrors the Linux flag.
+	Deferrable bool
+	// Uses are the armed intervals in time order.
+	Uses []Use
+	// Ops counts raw operations on this timer (including no-op cancels).
+	Ops int
+}
+
+// Lifecycles reconstructs per-timer histories from a trace. Records must be
+// in time order (trace buffers append in execution order, so they are).
+func Lifecycles(tr *trace.Buffer) []*TimerLife {
+	byID := make(map[uint64]*TimerLife)
+	order := make([]uint64, 0, 64)
+	get := func(r trace.Record) *TimerLife {
+		tl, ok := byID[r.TimerID]
+		if !ok {
+			tl = &TimerLife{ID: r.TimerID, PID: r.PID, Origin: tr.OriginName(r.Origin)}
+			byID[r.TimerID] = tl
+			order = append(order, r.TimerID)
+		}
+		if r.Flags&trace.FlagUser != 0 {
+			tl.User = true
+		}
+		if r.Flags&trace.FlagDeferrable != 0 {
+			tl.Deferrable = true
+		}
+		if tl.Origin == "?" {
+			tl.Origin = tr.OriginName(r.Origin)
+		}
+		return tl
+	}
+	open := make(map[uint64]int) // timer id -> index of open use
+	for _, r := range tr.Records() {
+		tl := get(r)
+		tl.Ops++
+		switch r.Op {
+		case trace.OpInit:
+			// Initialization only; no interval.
+		case trace.OpSet, trace.OpWait:
+			if i, ok := open[r.TimerID]; ok {
+				u := &tl.Uses[i]
+				u.EndAt = r.T
+				u.End = EndReset
+			}
+			tl.Uses = append(tl.Uses, Use{
+				SetAt:   r.T,
+				Timeout: sim.Duration(r.Timeout),
+				End:     EndDangling,
+				IsWait:  r.Op == trace.OpWait,
+			})
+			open[r.TimerID] = len(tl.Uses) - 1
+		case trace.OpCancel:
+			if i, ok := open[r.TimerID]; ok {
+				u := &tl.Uses[i]
+				u.EndAt = r.T
+				u.End = EndCanceled
+				u.Satisfied = r.Flags&trace.FlagSatisfied != 0
+				delete(open, r.TimerID)
+			}
+			// Cancels of idle timers (the paper saw repeated deletions)
+			// count as ops but produce no interval.
+		case trace.OpExpire:
+			if i, ok := open[r.TimerID]; ok {
+				u := &tl.Uses[i]
+				u.EndAt = r.T
+				u.End = EndExpired
+				delete(open, r.TimerID)
+			}
+		}
+	}
+	out := make([]*TimerLife, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	return out
+}
+
+// SortByOps orders lifecycles by descending operation count (then ID for
+// determinism) — the order Table 3 style listings want.
+func SortByOps(ls []*TimerLife) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Ops != ls[j].Ops {
+			return ls[i].Ops > ls[j].Ops
+		}
+		return ls[i].ID < ls[j].ID
+	})
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"sort"
+
+	"timerstudy/internal/sim"
+)
+
+// OriginRow is one line of Table 3: a timeout value, where it comes from,
+// and its usage class.
+type OriginRow struct {
+	// Value is the modal timeout of the origin's timers (jiffy-binned for
+	// kernel timers).
+	Value sim.Duration
+	// Origin is the source label.
+	Origin string
+	// Class is the dominant usage pattern.
+	Class Class
+	// Sets counts arming operations from this origin.
+	Sets int
+	// Timers counts distinct timer identities.
+	Timers int
+}
+
+// OriginTable groups lifecycles by origin, finds each origin's modal
+// timeout value and dominant class, and returns rows sorted by value then
+// origin — the shape of Table 3. Origins with fewer than minSets sets are
+// dropped.
+func OriginTable(ls []*TimerLife, minSets int) []OriginRow {
+	type acc struct {
+		values map[sim.Duration]int
+		class  [nClasses]int
+		sets   int
+		timers int
+	}
+	byOrigin := make(map[string]*acc)
+	vo := ValueOptions{JiffyBinKernel: true}
+	for _, tl := range ls {
+		if len(tl.Uses) == 0 {
+			continue
+		}
+		a, ok := byOrigin[tl.Origin]
+		if !ok {
+			a = &acc{values: map[sim.Duration]int{}}
+			byOrigin[tl.Origin] = a
+		}
+		a.timers++
+		a.class[Classify(tl)]++
+		for _, u := range tl.Uses {
+			b, _ := vo.bin(tl, u.Timeout)
+			a.values[b]++
+			a.sets++
+		}
+	}
+	rows := make([]OriginRow, 0, len(byOrigin))
+	for origin, a := range byOrigin {
+		if a.sets < minSets {
+			continue
+		}
+		var modal sim.Duration
+		best := -1
+		for v, c := range a.values {
+			if c > best || (c == best && v < modal) {
+				modal, best = v, c
+			}
+		}
+		classBest, class := -1, ClassOther
+		for c := range a.class {
+			if a.class[c] > classBest {
+				classBest, class = a.class[c], Class(c)
+			}
+		}
+		rows = append(rows, OriginRow{
+			Value: modal, Origin: origin, Class: class,
+			Sets: a.sets, Timers: a.timers,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Value != rows[j].Value {
+			return rows[i].Value < rows[j].Value
+		}
+		return rows[i].Origin < rows[j].Origin
+	})
+	return rows
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"sort"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// RateSeries is one line of Figure 1: timers set per second by a group of
+// processes.
+type RateSeries struct {
+	// Group is the display label ("Outlook", "Kernel"...).
+	Group string
+	// PerSecond holds one sample per whole second of the trace.
+	PerSecond []int
+}
+
+// Grouper maps a record to a Figure 1 line. Returning "" drops the record.
+type Grouper func(r trace.Record, origin string) string
+
+// SetRates buckets set operations into one-second bins per group, over
+// [0, duration).
+func SetRates(tr *trace.Buffer, duration sim.Duration, group Grouper) []RateSeries {
+	buckets := int(duration / sim.Second)
+	if buckets <= 0 {
+		return nil
+	}
+	series := make(map[string][]int)
+	for _, r := range tr.Records() {
+		if r.Op != trace.OpSet && r.Op != trace.OpWait {
+			continue
+		}
+		g := group(r, tr.OriginName(r.Origin))
+		if g == "" {
+			continue
+		}
+		sec := int(r.T / sim.Time(sim.Second))
+		if sec < 0 || sec >= buckets {
+			continue
+		}
+		s, ok := series[g]
+		if !ok {
+			s = make([]int, buckets)
+			series[g] = s
+		}
+		s[sec]++
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]RateSeries, 0, len(names))
+	for _, n := range names {
+		out = append(out, RateSeries{Group: n, PerSecond: series[n]})
+	}
+	return out
+}
+
+// Peak returns the maximum per-second rate in a series.
+func (s RateSeries) Peak() int {
+	max := 0
+	for _, v := range s.PerSecond {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the average per-second rate.
+func (s RateSeries) Mean() float64 {
+	if len(s.PerSecond) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range s.PerSecond {
+		sum += v
+	}
+	return float64(sum) / float64(len(s.PerSecond))
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"timerstudy/internal/sim"
+)
+
+// Rendering produces the ASCII equivalents of the paper's tables and
+// figures, used by cmd/timerstat, cmd/experiments and EXPERIMENTS.md.
+
+// fmtSeconds prints a duration the way the paper labels axes: seconds with
+// enough precision to distinguish 0.4999 from 0.5.
+func fmtSeconds(d sim.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s == math.Trunc(s):
+		return fmt.Sprintf("%.0f", s)
+	case s >= 0.1:
+		return strings.TrimRight(fmt.Sprintf("%.4f", s), "0")
+	default:
+		return strings.TrimRight(fmt.Sprintf("%.6f", s), "0")
+	}
+}
+
+// RenderSummaryTable renders Tables 1-2: one column per workload.
+func RenderSummaryTable(title string, names []string, sums []Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%12s", n)
+	}
+	b.WriteByte('\n')
+	row := func(label string, get func(Summary) uint64) {
+		fmt.Fprintf(&b, "%-12s", label)
+		for _, s := range sums {
+			fmt.Fprintf(&b, "%12d", get(s))
+		}
+		b.WriteByte('\n')
+	}
+	row("Timers", func(s Summary) uint64 { return uint64(s.Timers) })
+	row("Concurrency", func(s Summary) uint64 { return uint64(s.Concurrency) })
+	row("Accesses", func(s Summary) uint64 { return s.Accesses })
+	row("User-space", func(s Summary) uint64 { return s.UserSpace })
+	row("Kernel", func(s Summary) uint64 { return s.Kernel })
+	row("Set", func(s Summary) uint64 { return s.Set })
+	row("Expired", func(s Summary) uint64 { return s.Expired })
+	row("Canceled", func(s Summary) uint64 { return s.Canceled })
+	return b.String()
+}
+
+// RenderClassShares renders Figure 2: usage-pattern percentages per
+// workload.
+func RenderClassShares(names []string, shares []ClassShares) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "class")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%12s", n)
+	}
+	b.WriteByte('\n')
+	for _, c := range Classes() {
+		fmt.Fprintf(&b, "%-10s", c)
+		for _, s := range shares {
+			fmt.Fprintf(&b, "%11.1f%%", s.Share(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderValues renders a common-value histogram (Figures 3, 5-7).
+func RenderValues(entries []ValueEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-9s %8s  %s\n", "timeout[s]", "(jiffies)", "share", "")
+	for _, e := range entries {
+		jif := ""
+		if e.Jiffies > 0 {
+			jif = fmt.Sprintf("(%d)", e.Jiffies)
+		}
+		bar := strings.Repeat("#", int(e.Share+0.5))
+		fmt.Fprintf(&b, "%-14s %-9s %7.1f%%  %s\n", fmtSeconds(e.Value), jif, e.Share, bar)
+	}
+	return b.String()
+}
+
+// RenderScatter renders Figures 8-11: ratio (y) vs log-timeout (x) with
+// density glyphs (". o O @" by count magnitude).
+func RenderScatter(points []ScatterPoint) string {
+	if len(points) == 0 {
+		return "(no points)\n"
+	}
+	const (
+		minExp = -4 // 0.0001 s
+		maxExp = 4  // 10000 s
+		cols   = (maxExp - minExp) * 5
+		rowPct = 10
+		rows   = 250/rowPct + 1
+	)
+	grid := make([][]int, rows)
+	for i := range grid {
+		grid[i] = make([]int, cols)
+	}
+	for _, p := range points {
+		x := int((math.Log10(p.Timeout.Seconds()) - minExp) * 5)
+		y := int(p.RatioPct) / rowPct
+		if x < 0 || x >= cols || y < 0 || y >= rows {
+			continue
+		}
+		grid[y][x] += p.Count
+	}
+	glyph := func(c int) byte {
+		switch {
+		case c == 0:
+			return ' '
+		case c < 10:
+			return '.'
+		case c < 100:
+			return 'o'
+		case c < 1000:
+			return 'O'
+		default:
+			return '@'
+		}
+	}
+	var b strings.Builder
+	for y := rows - 1; y >= 0; y-- {
+		fmt.Fprintf(&b, "%4d%% |", y*rowPct)
+		for x := 0; x < cols; x++ {
+			b.WriteByte(glyph(grid[y][x]))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("      +" + strings.Repeat("-", cols) + "\n")
+	b.WriteString("       ")
+	for e := minExp; e <= maxExp; e++ {
+		lbl := fmt.Sprintf("1e%d", e)
+		b.WriteString(lbl)
+		if e < maxExp {
+			b.WriteString(strings.Repeat(" ", 5-len(lbl)))
+		}
+	}
+	b.WriteString("  timeout [s]\n")
+	return b.String()
+}
+
+// RenderSeries renders Figure 4: set-time vs value dot plot.
+func RenderSeries(points []SeriesPoint, duration sim.Duration) string {
+	if len(points) == 0 {
+		return "(no points)\n"
+	}
+	var maxV sim.Duration
+	for _, p := range points {
+		if p.V > maxV {
+			maxV = p.V
+		}
+	}
+	if maxV == 0 {
+		maxV = sim.Second
+	}
+	const rows, cols = 20, 72
+	grid := make([][]bool, rows)
+	for i := range grid {
+		grid[i] = make([]bool, cols)
+	}
+	for _, p := range points {
+		x := int(int64(p.T) * int64(cols) / int64(duration))
+		y := int(int64(p.V) * int64(rows-1) / int64(maxV))
+		if x >= cols {
+			x = cols - 1
+		}
+		if x < 0 || y < 0 {
+			continue
+		}
+		grid[y][x] = true
+	}
+	var b strings.Builder
+	for y := rows - 1; y >= 0; y-- {
+		fmt.Fprintf(&b, "%8s |", fmtSeconds(maxV*sim.Duration(y)/sim.Duration(rows-1))+"s")
+		for x := 0; x < cols; x++ {
+			if grid[y][x] {
+				b.WriteByte('*')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "         +%s\n", strings.Repeat("-", cols))
+	endLabel := fmtSeconds(sim.Duration(duration)) + "s"
+	fmt.Fprintf(&b, "          0%s%s  time\n", strings.Repeat(" ", cols-len(endLabel)-2), endLabel)
+	return b.String()
+}
+
+// RenderRates renders Figure 1: per-group mean and peak set rates plus a
+// compact time series.
+func RenderRates(series []RateSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s  per-second series (log scale: .=1-9 o=10-99 O=100-999 @=1000+)\n",
+		"group", "mean/s", "peak/s")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-10s %10.1f %10d  ", s.Group, s.Mean(), s.Peak())
+		for _, v := range s.PerSecond {
+			switch {
+			case v == 0:
+				b.WriteByte('_')
+			case v < 10:
+				b.WriteByte('.')
+			case v < 100:
+				b.WriteByte('o')
+			case v < 1000:
+				b.WriteByte('O')
+			default:
+				b.WriteByte('@')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderOrigins renders Table 3.
+func RenderOrigins(rows []OriginRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-44s %-10s %8s\n", "timeout[s]", "origin", "class", "sets")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-44s %-10s %8d\n", fmtSeconds(r.Value), r.Origin, r.Class, r.Sets)
+	}
+	return b.String()
+}
+
+// SortedByShare returns entries sorted by descending share (for summaries).
+func SortedByShare(entries []ValueEntry) []ValueEntry {
+	out := append([]ValueEntry(nil), entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	return out
+}
+
+// RenderRelations renders the Section 5.2 inferred-relations report,
+// aggregating relations between the same origin pair (distinct timer
+// structs of one call site, e.g. per-worker watchdogs).
+func RenderRelations(rels []InferredRelation) string {
+	if len(rels) == 0 {
+		return "(no relations inferred)\n"
+	}
+	type key struct {
+		from, to string
+		kind     RelationKind
+	}
+	type agg struct {
+		support int
+		conf    float64
+		pairs   int
+	}
+	m := map[key]*agg{}
+	var order []key
+	for _, r := range rels {
+		k := key{r.From.Origin, r.To.Origin, r.Kind}
+		a, ok := m[k]
+		if !ok {
+			a = &agg{}
+			m[k] = a
+			order = append(order, k)
+		}
+		a.support += r.Support
+		if r.Confidence > a.conf {
+			a.conf = r.Confidence
+		}
+		a.pairs++
+	}
+	sort.Slice(order, func(i, j int) bool { return m[order[i]].support > m[order[j]].support })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %-12s %-44s %8s %6s %6s\n", "from", "relation", "to", "support", "conf", "pairs")
+	for _, k := range order {
+		a := m[k]
+		fmt.Fprintf(&b, "%-44s %-12s %-44s %8d %5.0f%% %6d\n",
+			k.from, k.kind, k.to, a.support, 100*a.conf, a.pairs)
+	}
+	return b.String()
+}

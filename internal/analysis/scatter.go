@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"timerstudy/internal/sim"
+)
+
+// ScatterPoint is one aggregated circle of Figures 8-11: a timeout value, a
+// ratio of elapsed-to-requested time, and how many uses landed there. The
+// figures cut off above 250 %.
+type ScatterPoint struct {
+	// Timeout is the requested value (bin representative).
+	Timeout sim.Duration
+	// RatioPct is elapsed/requested in percent (bin representative).
+	RatioPct float64
+	// Count aggregates uses in the bin.
+	Count int
+	// Expired is how many of them expired (the rest were canceled).
+	Expired int
+}
+
+// ScatterOptions controls aggregation.
+type ScatterOptions struct {
+	// ExcludeProcesses filters origins as in ValueOptions (the paper
+	// filters X and icewm from the Linux figures).
+	ExcludeProcesses []string
+	// CutoffPct drops points above this ratio (paper: 250).
+	CutoffPct float64
+	// LogBinsPerDecade sets x-axis resolution (default 5).
+	LogBinsPerDecade int
+	// RatioBinPct sets y-axis resolution in percent (default 10).
+	RatioBinPct float64
+}
+
+// DefaultScatterOptions mirror the paper's figures.
+func DefaultScatterOptions() ScatterOptions {
+	return ScatterOptions{CutoffPct: 250, LogBinsPerDecade: 5, RatioBinPct: 10}
+}
+
+// Scatter aggregates every completed use into (timeout, ratio) bins.
+// Timers set to expire immediately or in the past are not plotted, as in
+// the paper.
+func Scatter(ls []*TimerLife, opts ScatterOptions) []ScatterPoint {
+	if opts.CutoffPct == 0 {
+		opts.CutoffPct = 250
+	}
+	if opts.LogBinsPerDecade == 0 {
+		opts.LogBinsPerDecade = 5
+	}
+	if opts.RatioBinPct == 0 {
+		opts.RatioBinPct = 10
+	}
+	vo := ValueOptions{ExcludeProcesses: opts.ExcludeProcesses}
+	type key struct {
+		x int
+		y int
+	}
+	agg := make(map[key]*ScatterPoint)
+	for _, tl := range ls {
+		if vo.excluded(tl) {
+			continue
+		}
+		for _, u := range tl.Uses {
+			ratio, ok := u.Ratio()
+			if !ok {
+				continue
+			}
+			pct := ratio * 100
+			if pct > opts.CutoffPct {
+				continue
+			}
+			lx := math.Log10(u.Timeout.Seconds())
+			xb := int(math.Floor(lx * float64(opts.LogBinsPerDecade)))
+			yb := int(math.Floor(pct / opts.RatioBinPct))
+			k := key{xb, yb}
+			p, okk := agg[k]
+			if !okk {
+				p = &ScatterPoint{
+					Timeout:  sim.DurationOfSeconds(math.Pow(10, float64(xb)/float64(opts.LogBinsPerDecade))),
+					RatioPct: float64(yb) * opts.RatioBinPct,
+				}
+				agg[k] = p
+			}
+			p.Count++
+			if u.End == EndExpired {
+				p.Expired++
+			}
+		}
+	}
+	out := make([]ScatterPoint, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Timeout != out[j].Timeout {
+			return out[i].Timeout < out[j].Timeout
+		}
+		return out[i].RatioPct < out[j].RatioPct
+	})
+	return out
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import "timerstudy/internal/trace"
+
+// Summary is one column of Table 1 (Linux) or Table 2 (Vista): the
+// trace-wide totals.
+type Summary struct {
+	// Timers is the number of distinct timer identities touched.
+	Timers int
+	// ClusteredTimers counts distinct (origin, pid) pairs. Vista allocates
+	// timer objects on the fly, so raw identities explode; the paper
+	// clusters operations "according to call-site and thread ID"
+	// (Section 3.3) before counting, which this reproduces. On Linux the
+	// two counts are close because timer structs are reused.
+	ClusteredTimers int
+	// Concurrency is the maximum number of simultaneously pending timers.
+	Concurrency int
+	// Accesses is the total number of operations on the timer subsystem.
+	Accesses uint64
+	// UserSpace counts accesses made on behalf of user space (explicit and
+	// implicit, i.e. syscall timeouts); Kernel is the remainder.
+	UserSpace uint64
+	Kernel    uint64
+	// Set, Expired, Canceled are the per-operation totals (Set includes
+	// thread waits, which arm a timer).
+	Set      uint64
+	Expired  uint64
+	Canceled uint64
+}
+
+// Summarize computes the trace summary. It uses the raw record stream so
+// that no-op cancels and re-sets count as accesses, as the paper's
+// instrumentation counts calls.
+func Summarize(tr *trace.Buffer) Summary {
+	var s Summary
+	seen := make(map[uint64]bool)
+	type cluster struct {
+		origin uint32
+		pid    int32
+	}
+	clusters := make(map[cluster]bool)
+	pending := make(map[uint64]bool)
+	for _, r := range tr.Records() {
+		if !seen[r.TimerID] {
+			seen[r.TimerID] = true
+		}
+		clusters[cluster{r.Origin, r.PID}] = true
+		s.Accesses++
+		if r.IsUser() {
+			s.UserSpace++
+		} else {
+			s.Kernel++
+		}
+		switch r.Op {
+		case trace.OpSet, trace.OpWait:
+			s.Set++
+			pending[r.TimerID] = true
+			if len(pending) > s.Concurrency {
+				s.Concurrency = len(pending)
+			}
+		case trace.OpExpire:
+			s.Expired++
+			delete(pending, r.TimerID)
+		case trace.OpCancel:
+			s.Canceled++
+			delete(pending, r.TimerID)
+		}
+	}
+	s.Timers = len(seen)
+	s.ClusteredTimers = len(clusters)
+	return s
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"timerstudy/internal/jiffies"
+	"timerstudy/internal/sim"
+)
+
+// ValueOptions selects and bins timeout values for the common-value
+// histograms (Figures 3, 5, 6, 7).
+type ValueOptions struct {
+	// UserOnly restricts to user-space accesses (Figure 6).
+	UserOnly bool
+	// ExcludeProcesses drops timers whose origin belongs to these processes
+	// (origin prefix before '/'); Figure 5 excludes Xorg and icewm.
+	ExcludeProcesses []string
+	// CollapseCountdowns replaces each detected select-countdown chain with
+	// a single sample of its initial (programmer-chosen) value (Figure 5).
+	CollapseCountdowns bool
+	// JiffyBinKernel bins kernel-side values to whole jiffies, as the
+	// Linux analysis does; user values always bin to 100 µs.
+	JiffyBinKernel bool
+	// MinSharePercent drops entries below this share of all samples
+	// (the paper's figures use 2 %).
+	MinSharePercent float64
+}
+
+// ValueEntry is one histogram bar.
+type ValueEntry struct {
+	// Value is the binned timeout.
+	Value sim.Duration
+	// Jiffies is the jiffy count when jiffy-binned (0 otherwise).
+	Jiffies uint64
+	// Count is the number of samples in the bin.
+	Count int
+	// Share is Count as a percentage of all samples (before thresholding).
+	Share float64
+}
+
+// userBin quantizes user-supplied values to 100 µs.
+const userBin = 100 * sim.Microsecond
+
+func processOf(origin string) string {
+	if i := strings.IndexByte(origin, '/'); i >= 0 {
+		return origin[:i]
+	}
+	return origin
+}
+
+func (o ValueOptions) excluded(tl *TimerLife) bool {
+	if o.UserOnly && !tl.User {
+		return true
+	}
+	proc := processOf(tl.Origin)
+	for _, p := range o.ExcludeProcesses {
+		if proc == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (o ValueOptions) bin(tl *TimerLife, v sim.Duration) (sim.Duration, uint64) {
+	if v < 0 {
+		v = 0
+	}
+	if o.JiffyBinKernel && !tl.User {
+		j := jiffies.MsecsToJiffies(v)
+		return sim.Duration(j) * jiffies.JiffyDuration, j
+	}
+	binned := (v + userBin/2) / userBin * userBin
+	return binned, 0
+}
+
+// CommonValues computes the binned value histogram over all sets in the
+// lifecycles, applying the options' filters. It returns the entries at or
+// above the share threshold (sorted by value) and the total sample count.
+func CommonValues(ls []*TimerLife, opts ValueOptions) ([]ValueEntry, int) {
+	type key struct {
+		v sim.Duration
+		j uint64
+	}
+	counts := make(map[key]int)
+	total := 0
+	add := func(tl *TimerLife, v sim.Duration) {
+		b, j := opts.bin(tl, v)
+		counts[key{b, j}]++
+		total++
+	}
+	for _, tl := range ls {
+		if opts.excluded(tl) {
+			continue
+		}
+		if opts.CollapseCountdowns {
+			for _, chain := range CountdownChains(tl) {
+				add(tl, tl.Uses[chain.Start].Timeout)
+				// Chain members beyond the first are dropped.
+			}
+			for i, inChain := range chainMembership(tl) {
+				if !inChain {
+					add(tl, tl.Uses[i].Timeout)
+				}
+			}
+		} else {
+			for _, u := range tl.Uses {
+				add(tl, u.Timeout)
+			}
+		}
+	}
+	entries := make([]ValueEntry, 0, len(counts))
+	for k, c := range counts {
+		share := 100 * float64(c) / float64(total)
+		if share < opts.MinSharePercent {
+			continue
+		}
+		entries = append(entries, ValueEntry{Value: k.v, Jiffies: k.j, Count: c, Share: share})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Value < entries[j].Value })
+	return entries, total
+}
+
+// Chain is a run of uses forming a select-style countdown: each re-set's
+// value is the previous value minus the elapsed time — Linux writing the
+// remaining timeout back and the program re-issuing it (Figure 4).
+type Chain struct {
+	// Start and End index tl.Uses (End exclusive).
+	Start, End int
+}
+
+// Len returns the number of uses in the chain.
+func (c Chain) Len() int { return c.End - c.Start }
+
+// countdownTolerance allows for jiffy quantization of the written-back
+// remainder plus scheduling jitter.
+const countdownTolerance = 2*sim.Duration(jiffies.JiffyDuration) + JitterTolerance
+
+// isCountdownStep reports whether next continues a countdown from prev.
+func isCountdownStep(prev, next Use) bool {
+	gap := next.SetAt.Sub(prev.SetAt)
+	if gap <= 0 {
+		return false
+	}
+	expected := prev.Timeout - gap
+	if expected < 0 {
+		expected = 0
+	}
+	diff := next.Timeout - expected
+	if diff < 0 {
+		diff = -diff
+	}
+	// A genuine countdown strictly decreases; a watchdog re-set to the
+	// same value must not match.
+	return diff <= countdownTolerance && next.Timeout < prev.Timeout-JitterTolerance
+}
+
+// CountdownChains finds maximal countdown runs of length ≥ 2 in a timer's
+// uses.
+func CountdownChains(tl *TimerLife) []Chain {
+	var chains []Chain
+	i := 0
+	for i < len(tl.Uses)-1 {
+		j := i
+		for j+1 < len(tl.Uses) && isCountdownStep(tl.Uses[j], tl.Uses[j+1]) {
+			j++
+		}
+		if j > i {
+			chains = append(chains, Chain{Start: i, End: j + 1})
+			i = j + 1
+		} else {
+			i++
+		}
+	}
+	return chains
+}
+
+// chainMembership marks which uses belong to some countdown chain.
+func chainMembership(tl *TimerLife) []bool {
+	in := make([]bool, len(tl.Uses))
+	for _, c := range CountdownChains(tl) {
+		for i := c.Start; i < c.End; i++ {
+			in[i] = true
+		}
+	}
+	return in
+}
+
+// SeriesPoint is one dot of Figure 4: a set operation at T with value V.
+type SeriesPoint struct {
+	T sim.Time
+	V sim.Duration
+}
+
+// SetSeries extracts (time, value) points for timers whose origin has the
+// given process prefix — the Figure 4 dot plot of the X server's select
+// timer.
+func SetSeries(ls []*TimerLife, process string) []SeriesPoint {
+	var pts []SeriesPoint
+	for _, tl := range ls {
+		if processOf(tl.Origin) != process {
+			continue
+		}
+		for _, u := range tl.Uses {
+			pts = append(pts, SeriesPoint{T: u.SetAt, V: u.Timeout})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+	return pts
+}

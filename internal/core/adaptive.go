@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+
+	"timerstudy/internal/sim"
+)
+
+// Section 5.1: adaptive timeouts. "Rather than specifying a willingness to
+// wait for an (arbitrary) 30 seconds, the programmer should request to
+// 'time out' once the system is 99% confident that a message will never be
+// arriving." The Estimator learns the distribution of observed wait times;
+// AdaptiveTimeout turns a confidence level into a concrete timeout with
+// exponential backoff after failures and level-shift recovery after
+// environment changes (the paper's LAN-to-WAN example).
+
+// estBuckets covers 1 ns .. ~9.2 s per power of two, then a tail.
+const estBuckets = 64
+
+// Estimator is an online latency-distribution sketch: logarithmic buckets
+// with exponential forgetting. It is cheap enough to embed in every timer
+// (a few hundred bytes, O(1) updates) — feasibility is exactly the paper's
+// open question ("whether it is feasible to fit a simple model to the
+// distribution of wait-times in a running system").
+type Estimator struct {
+	buckets [estBuckets]float64
+	total   float64
+	n       uint64
+
+	fast, slow float64 // EWMA means in ns, for level-shift detection
+	shiftRun   int
+	// Shifts counts detected level shifts (diagnostics).
+	Shifts uint64
+}
+
+func bucketOf(d sim.Duration) int {
+	if d < 1 {
+		d = 1
+	}
+	b := bits.Len64(uint64(d)) - 1
+	if b >= estBuckets {
+		b = estBuckets - 1
+	}
+	return b
+}
+
+// Observe folds in a wait-time sample.
+func (e *Estimator) Observe(d sim.Duration) {
+	e.n++
+	e.buckets[bucketOf(d)]++
+	e.total++
+
+	x := float64(d)
+	if e.n == 1 {
+		e.fast, e.slow = x, x
+		return
+	}
+	e.fast += 0.3 * (x - e.fast)
+	e.slow += 0.02 * (x - e.slow)
+	// A sustained disagreement between the fast and slow means marks a
+	// level shift (latency regime change): forget the old distribution
+	// quickly rather than waiting for it to wash out.
+	if e.slow > 0 && (e.fast > 3*e.slow || e.fast < e.slow/3) {
+		e.shiftRun++
+		if e.shiftRun >= 8 {
+			e.shiftRun = 0
+			e.Shifts++
+			for i := range e.buckets {
+				e.buckets[i] /= 8
+			}
+			e.total /= 8
+			e.slow = e.fast
+		}
+	} else {
+		e.shiftRun = 0
+	}
+}
+
+// Samples returns the number of observations.
+func (e *Estimator) Samples() uint64 { return e.n }
+
+// Quantile returns an upper bound for the q-quantile of observed waits
+// (q in (0,1)), interpolating within the winning bucket. With no samples it
+// returns 0.
+func (e *Estimator) Quantile(q float64) sim.Duration {
+	if e.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * e.total
+	var cum float64
+	for i, c := range e.buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo := math.Exp2(float64(i))
+			hi := math.Exp2(float64(i + 1))
+			frac := (target - cum) / c
+			return sim.Duration(lo + frac*(hi-lo))
+		}
+		cum += c
+	}
+	return sim.Duration(math.Exp2(estBuckets))
+}
+
+// Mean returns the fast EWMA mean.
+func (e *Estimator) Mean() sim.Duration { return sim.Duration(e.fast) }
+
+// AdaptiveTimeout derives timeout values from an Estimator.
+type AdaptiveTimeout struct {
+	f   *Facility
+	est Estimator
+
+	origin string
+	// Confidence is the target quantile (e.g. 0.99).
+	Confidence float64
+	// Safety multiplies the quantile (headroom above the observed tail).
+	Safety float64
+	// Floor and Ceil clamp the result; Ceil also serves as the
+	// conservative value while the estimator is cold.
+	Floor, Ceil sim.Duration
+	// MinSamples gates adaptation: below it, Current returns Ceil.
+	MinSamples uint64
+
+	// Timeouts and Successes count outcomes.
+	Timeouts, Successes uint64
+}
+
+// NewAdaptiveTimeout creates an adaptive timeout source. Zero-value knobs
+// get sane defaults (confidence 0.99, safety 2, min samples 8).
+func (f *Facility) NewAdaptiveTimeout(origin string, confidence float64, floor, ceil sim.Duration) *AdaptiveTimeout {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.99
+	}
+	return &AdaptiveTimeout{
+		f: f, origin: origin, Confidence: confidence, Safety: 2,
+		Floor: floor, Ceil: ceil, MinSamples: 8,
+	}
+}
+
+// Estimator exposes the underlying distribution sketch.
+func (a *AdaptiveTimeout) Estimator() *Estimator { return &a.est }
+
+// Current returns the base timeout the adaptive policy would use now:
+// quantile(confidence) × safety, clamped to [Floor, Ceil]; Ceil while cold.
+func (a *AdaptiveTimeout) Current() sim.Duration {
+	return a.CurrentRetry(0)
+}
+
+// CurrentRetry is Current with exponential backoff applied for the given
+// retry ordinal: value × 2^retry, still clamped to Ceil. Backoff belongs to
+// an operation's retry sequence (as in TCP), not to the call site globally
+// — parallel first attempts must not inflate each other.
+func (a *AdaptiveTimeout) CurrentRetry(retry uint) sim.Duration {
+	if a.est.Samples() < a.MinSamples {
+		return a.Ceil
+	}
+	d := sim.Duration(float64(a.est.Quantile(a.Confidence)) * a.Safety)
+	for i := uint(0); i < retry; i++ {
+		d *= 2
+		if d >= a.Ceil {
+			break
+		}
+	}
+	if d < a.Floor {
+		d = a.Floor
+	}
+	if a.Ceil > 0 && d > a.Ceil {
+		d = a.Ceil
+	}
+	return d
+}
+
+// Arm starts a guard at the current adaptive value (first attempt). Callers
+// report the outcome through the returned guard's Done (success path should
+// also call ObserveSuccess with the measured latency).
+func (a *AdaptiveTimeout) Arm(onTimeout func()) *Guard {
+	return a.ArmRetry(0, onTimeout)
+}
+
+// ArmRetry arms the retry-th attempt of an operation with backed-off value.
+func (a *AdaptiveTimeout) ArmRetry(retry uint, onTimeout func()) *Guard {
+	return a.f.NewGuard(nil, a.origin, Exact(a.CurrentRetry(retry)), func() {
+		a.Timeouts++
+		onTimeout()
+	})
+}
+
+// ObserveSuccess records a completed wait: the latency feeds the estimator
+// — the control loop closing, which the study found almost no timers doing.
+func (a *AdaptiveTimeout) ObserveSuccess(latency sim.Duration) {
+	a.Successes++
+	a.est.Observe(latency)
+}

@@ -1,0 +1,297 @@
+// Package core implements the timer-system redesign the paper argues for in
+// Section 5 — the reproduction's "primary contribution" library. Instead of
+// the single low-level set/cancel interface whose uses the measurement study
+// teases apart, it offers:
+//
+//   - a richer notion of time (Section 5.3): every timer is armed with a
+//     TimeSpec window [Earliest, Latest], letting the facility batch
+//     imprecise timers into shared wakeups (generalizing round_jiffies,
+//     deferrable timers and Vista's coalescing windows),
+//   - use-case-specific interfaces (Section 5.4): Ticker, Guard (timeout),
+//     Watchdog, Delay and Deferred, matching the five usage patterns the
+//     study identifies,
+//   - timeout provenance and dependency tracking (Section 5.2): timers
+//     carry origins and parent links; declared overlap/dependency relations
+//     between timers let the facility elide or chain registrations,
+//   - adaptive timeouts (Section 5.1): an online latency-distribution
+//     estimator supplies confidence-based timeout values with exponential
+//     backoff and level-shift recovery, generalizing what TCP does for
+//     retransmission to any timeout in the system.
+//
+// The facility runs over any Backend; the simulation backend makes its
+// behaviour deterministic and lets the benchmarks measure wakeup counts and
+// failure-detection latency against the fixed-timeout status quo.
+package core
+
+import (
+	"fmt"
+
+	"timerstudy/internal/sim"
+)
+
+// Backend is the single underlying timer the facility multiplexes onto —
+// the "one timer (such as that provided by hardware) underneath" of
+// Section 2.
+type Backend interface {
+	// Now returns the current time.
+	Now() sim.Time
+	// At schedules fn at t, returning a cancel function. Implementations
+	// need only support one outstanding callback per At call.
+	At(t sim.Time, fn func()) (cancel func() bool)
+}
+
+// SimBackend adapts a simulation engine.
+type SimBackend struct {
+	// Eng is the discrete-event engine to schedule on.
+	Eng *sim.Engine
+}
+
+// Now implements Backend.
+func (b SimBackend) Now() sim.Time { return b.Eng.Now() }
+
+// At implements Backend.
+func (b SimBackend) At(t sim.Time, fn func()) func() bool {
+	ev := b.Eng.At(t, "core:timer", fn)
+	return func() bool { return b.Eng.Cancel(ev) }
+}
+
+// Entry is one armed timer inside the facility.
+type Entry struct {
+	f        *Facility
+	spec     Spec
+	earliest sim.Time
+	latest   sim.Time
+	fn       func()
+	batch    *batch
+	index    int // position in batch.entries
+	fired    bool
+	canceled bool
+
+	// origin/provenance
+	origin string
+	parent *Entry
+}
+
+// Pending reports whether the entry is armed.
+func (e *Entry) Pending() bool { return e != nil && e.batch != nil && !e.fired && !e.canceled }
+
+// Origin returns the entry's provenance label.
+func (e *Entry) Origin() string { return e.origin }
+
+// Parent returns the provenance parent, if declared.
+func (e *Entry) Parent() *Entry { return e.parent }
+
+// Chain returns the provenance chain from this entry to the root, the
+// debugging view Section 5.2 wants ("being able to trace execution through
+// the system").
+func (e *Entry) Chain() []string {
+	var out []string
+	for x := e; x != nil; x = x.parent {
+		out = append(out, x.origin)
+	}
+	return out
+}
+
+// String formats the entry with its window for diagnostics.
+func (e *Entry) String() string {
+	return fmt.Sprintf("%s[%v..%v]", e.origin, e.earliest, e.latest)
+}
+
+// Stats counts facility-level activity; Wakeups vs Arms is the coalescing
+// win the Section 5.3 benchmark reports.
+type Stats struct {
+	// Arms counts entry registrations.
+	Arms uint64
+	// Fires counts delivered callbacks.
+	Fires uint64
+	// Cancels counts canceled entries.
+	Cancels uint64
+	// Wakeups counts backend callbacks taken (batches fired).
+	Wakeups uint64
+	// Coalesced counts entries that joined an existing batch instead of
+	// creating a wakeup of their own.
+	Coalesced uint64
+	// Elided counts entries never armed because a declared relation made
+	// them redundant.
+	Elided uint64
+}
+
+// Facility is the timer multiplexer: entries with windows are grouped into
+// batches, each batch backed by one backend timer.
+type Facility struct {
+	backend Backend
+	batches []*batch
+	stats   Stats
+}
+
+// batch is a set of entries sharing one wakeup instant.
+type batch struct {
+	at      sim.Time // current fire instant
+	floor   sim.Time // max of members' earliest: cannot fire before
+	ceil    sim.Time // min of members' latest: cannot fire after
+	entries []*Entry
+	cancel  func() bool
+	f       *Facility
+}
+
+// New creates a facility over a backend.
+func New(b Backend) *Facility { return &Facility{backend: b} }
+
+// Now returns the backend's time.
+func (f *Facility) Now() sim.Time { return f.backend.Now() }
+
+// Stats returns a copy of the counters.
+func (f *Facility) Stats() Stats { return f.stats }
+
+// Arm registers fn to run within the spec's window, attributed to origin.
+func (f *Facility) Arm(origin string, spec Spec, fn func()) *Entry {
+	e := &Entry{f: f, spec: spec, fn: fn, origin: origin}
+	f.arm(e)
+	return e
+}
+
+// ArmChild is Arm with a declared provenance parent (Section 5.2): the
+// child's window is clipped to not outlast the parent — a nested timeout
+// longer than its enclosing timeout can never matter, so the facility
+// shortens it (the Section 5.4 nesting rule).
+func (f *Facility) ArmChild(parent *Entry, origin string, spec Spec, fn func()) *Entry {
+	e := &Entry{f: f, spec: spec, fn: fn, origin: origin, parent: parent}
+	f.arm(e)
+	if parent != nil && parent.Pending() && e.Pending() && e.latest > parent.latest {
+		// Clip: fire no later than the parent; tighten earliest too if the
+		// clip inverted the window.
+		e.remove()
+		e.latest = parent.latest
+		if e.earliest > e.latest {
+			e.earliest = e.latest
+		}
+		f.place(e)
+	}
+	return e
+}
+
+func (f *Facility) arm(e *Entry) {
+	now := f.backend.Now()
+	e.earliest, e.latest = e.spec.window(now)
+	f.stats.Arms++
+	f.place(e)
+}
+
+// place puts an entry into a compatible batch, or creates one. Batch choice
+// maximizes sharing: any batch whose fire instant can be moved inside the
+// entry's window accepts it.
+func (f *Facility) place(e *Entry) {
+	for _, b := range f.batches {
+		// The batch can fire anywhere in [b.floor∨e.earliest, b.ceil∧e.latest].
+		lo := maxTime(b.floor, e.earliest)
+		hi := minTime(b.ceil, e.latest)
+		if lo > hi {
+			continue
+		}
+		b.floor, b.ceil = lo, hi
+		// Fire as late as allowed: later instants collect more joiners.
+		b.retarget(hi)
+		e.batch = b
+		e.index = len(b.entries)
+		b.entries = append(b.entries, e)
+		f.stats.Coalesced++
+		return
+	}
+	b := &batch{f: f, floor: e.earliest, ceil: e.latest}
+	e.batch = b
+	e.index = 0
+	b.entries = []*Entry{e}
+	f.batches = append(f.batches, b)
+	b.at = e.latest
+	b.cancel = f.backend.At(b.at, b.fire)
+}
+
+func (b *batch) retarget(t sim.Time) {
+	if t == b.at {
+		return
+	}
+	b.cancel()
+	b.at = t
+	b.cancel = b.f.backend.At(t, b.fire)
+}
+
+func (b *batch) fire() {
+	f := b.f
+	f.stats.Wakeups++
+	f.dropBatch(b)
+	for _, e := range b.entries {
+		if e.canceled {
+			continue
+		}
+		e.fired = true
+		e.batch = nil
+		f.stats.Fires++
+		e.fn()
+	}
+}
+
+func (f *Facility) dropBatch(b *batch) {
+	for i, x := range f.batches {
+		if x == b {
+			f.batches = append(f.batches[:i], f.batches[i+1:]...)
+			return
+		}
+	}
+}
+
+// Cancel removes a pending entry; it reports whether the entry was pending.
+// When the last member of a batch cancels, the backend timer is canceled
+// too — no spurious wakeup.
+func (f *Facility) Cancel(e *Entry) bool {
+	if !e.Pending() {
+		return false
+	}
+	f.stats.Cancels++
+	e.remove()
+	e.canceled = true
+	return true
+}
+
+// remove detaches a pending entry from its batch.
+func (e *Entry) remove() {
+	b := e.batch
+	e.batch = nil
+	last := len(b.entries) - 1
+	for i, x := range b.entries {
+		if x == e {
+			b.entries[i] = b.entries[last]
+			b.entries = b.entries[:last]
+			break
+		}
+	}
+	if len(b.entries) == 0 {
+		b.cancel()
+		e.f.dropBatch(b)
+	}
+}
+
+// PendingEntries returns the number of armed entries (tests/examples).
+func (f *Facility) PendingEntries() int {
+	n := 0
+	for _, b := range f.batches {
+		n += len(b.entries)
+	}
+	return n
+}
+
+// PendingWakeups returns the number of distinct scheduled wakeups.
+func (f *Facility) PendingWakeups() int { return len(f.batches) }
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,594 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timerstudy/internal/sim"
+)
+
+func newF() (*sim.Engine, *Facility) {
+	eng := sim.NewEngine(1)
+	return eng, New(SimBackend{Eng: eng})
+}
+
+func TestArmFiresWithinWindow(t *testing.T) {
+	eng, f := newF()
+	var at sim.Time
+	f.Arm("x", Window(sim.Second, 500*sim.Millisecond), func() { at = eng.Now() })
+	eng.Run(sim.Time(sim.Minute))
+	if at < sim.Time(sim.Second) || at > sim.Time(1500*sim.Millisecond) {
+		t.Fatalf("fired at %v, outside [1s, 1.5s]", at)
+	}
+}
+
+func TestExactFiresExactly(t *testing.T) {
+	eng, f := newF()
+	var at sim.Time
+	f.Arm("x", Exact(sim.Second), func() { at = eng.Now() })
+	eng.Run(sim.Time(sim.Minute))
+	if at != sim.Time(sim.Second) {
+		t.Fatalf("fired at %v", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	eng, f := newF()
+	fired := false
+	e := f.Arm("x", Exact(sim.Second), func() { fired = true })
+	if !e.Pending() {
+		t.Fatal("not pending")
+	}
+	if !f.Cancel(e) {
+		t.Fatal("cancel failed")
+	}
+	if f.Cancel(e) {
+		t.Fatal("double cancel")
+	}
+	eng.Run(sim.Time(sim.Minute))
+	if fired {
+		t.Fatal("canceled entry fired")
+	}
+	if f.PendingWakeups() != 0 {
+		t.Fatal("backend timer leaked after last cancel")
+	}
+}
+
+func TestCoalescingSharesWakeups(t *testing.T) {
+	eng, f := newF()
+	fired := 0
+	// Ten timers, all with windows overlapping around 1 s: one wakeup.
+	for i := 0; i < 10; i++ {
+		f.Arm("x", Window(sim.Duration(900+10*i)*sim.Millisecond, 300*sim.Millisecond), func() { fired++ })
+	}
+	if f.PendingWakeups() != 1 {
+		t.Fatalf("wakeups scheduled = %d, want 1", f.PendingWakeups())
+	}
+	eng.Run(sim.Time(sim.Minute))
+	if fired != 10 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if got := f.Stats().Wakeups; got != 1 {
+		t.Fatalf("wakeups taken = %d, want 1", got)
+	}
+	if got := f.Stats().Coalesced; got != 9 {
+		t.Fatalf("coalesced = %d, want 9", got)
+	}
+}
+
+func TestNoCoalescingAcrossDisjointWindows(t *testing.T) {
+	eng, f := newF()
+	f.Arm("a", Exact(sim.Second), func() {})
+	f.Arm("b", Exact(2*sim.Second), func() {})
+	if f.PendingWakeups() != 2 {
+		t.Fatalf("wakeups = %d, want 2", f.PendingWakeups())
+	}
+	eng.Run(sim.Time(sim.Minute))
+	if f.Stats().Wakeups != 2 {
+		t.Fatalf("wakeups = %d", f.Stats().Wakeups)
+	}
+}
+
+// Property: a batch never fires outside the intersection of its members'
+// windows, whatever windows arrive.
+func TestWindowRespectedProperty(t *testing.T) {
+	check := func(afters []uint16, slacks []uint16) bool {
+		eng, f := newF()
+		ok := true
+		n := len(afters)
+		if n > len(slacks) {
+			n = len(slacks)
+		}
+		for i := 0; i < n; i++ {
+			after := sim.Duration(afters[i]) * sim.Millisecond
+			slack := sim.Duration(slacks[i]) * sim.Millisecond
+			lo, hi := sim.Time(after), sim.Time(after+slack)
+			f.Arm("p", Window(after, slack), func() {
+				if eng.Now() < lo || eng.Now() > hi {
+					ok = false
+				}
+			})
+		}
+		// Max window is 65.5 s after + 65.5 s slack; run well past it.
+		eng.Run(sim.Time(3 * sim.Minute))
+		return ok && f.PendingEntries() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerDriftFree(t *testing.T) {
+	eng, f := newF()
+	var ticks []sim.Time
+	f.NewTicker("tick", 100*sim.Millisecond, 0, func() {
+		ticks = append(ticks, eng.Now())
+	})
+	eng.Run(sim.Time(1050 * sim.Millisecond))
+	if len(ticks) != 10 {
+		t.Fatalf("ticks = %d", len(ticks))
+	}
+	for i, at := range ticks {
+		want := sim.Time(100 * sim.Millisecond * sim.Duration(i+1))
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerSlackPreservesAverageRate(t *testing.T) {
+	eng, f := newF()
+	tk := f.NewTicker("tick", 100*sim.Millisecond, 50*sim.Millisecond, func() {})
+	eng.Run(sim.Time(10 * sim.Second))
+	// Drift-free schedule: ~100 ticks despite per-tick slack.
+	if tk.Ticks < 95 || tk.Ticks > 101 {
+		t.Fatalf("ticks = %d, want ≈100", tk.Ticks)
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	eng, f := newF()
+	tk := f.NewTicker("tick", 100*sim.Millisecond, 0, func() {})
+	eng.Run(sim.Time(550 * sim.Millisecond))
+	tk.Stop()
+	n := tk.Ticks
+	eng.Run(sim.Time(5 * sim.Second))
+	if tk.Ticks != n {
+		t.Fatal("ticked after stop")
+	}
+}
+
+func TestTickersCoalesce(t *testing.T) {
+	// Ten sloppy 1 s tickers share wakeups; ten precise ones do not.
+	run := func(slack sim.Duration) uint64 {
+		eng, f := newF()
+		for i := 0; i < 10; i++ {
+			f.NewTicker("t", sim.Second+sim.Duration(i)*17*sim.Millisecond, slack, func() {})
+		}
+		eng.Run(sim.Time(30 * sim.Second))
+		return f.Stats().Wakeups
+	}
+	precise := run(0)
+	sloppy := run(400 * sim.Millisecond)
+	if sloppy >= precise/2 {
+		t.Fatalf("slack did not save wakeups: %d → %d", precise, sloppy)
+	}
+}
+
+func TestGuardDoneBeforeTimeout(t *testing.T) {
+	eng, f := newF()
+	timedOut := false
+	g := f.NewGuard(nil, "op", Exact(sim.Second), func() { timedOut = true })
+	eng.At(sim.Time(100*sim.Millisecond), "finish", func() {
+		if !g.Done() {
+			t.Error("Done returned false while pending")
+		}
+	})
+	eng.Run(sim.Time(sim.Minute))
+	if timedOut {
+		t.Fatal("guard fired after Done")
+	}
+	if g.Done() {
+		t.Fatal("second Done returned true")
+	}
+}
+
+func TestGuardTimeout(t *testing.T) {
+	eng, f := newF()
+	timedOut := false
+	g := f.NewGuard(nil, "op", Exact(sim.Second), func() { timedOut = true })
+	eng.Run(sim.Time(sim.Minute))
+	if !timedOut {
+		t.Fatal("guard never fired")
+	}
+	if g.Done() {
+		t.Fatal("Done after timeout returned true")
+	}
+}
+
+func TestNestedGuardClippedToParent(t *testing.T) {
+	// Section 5.4: an inner timeout longer than the enclosing one is
+	// clipped — the inner guard fires no later than the outer deadline.
+	eng, f := newF()
+	var outerAt, innerAt sim.Time
+	outer := f.NewGuard(nil, "outer", Exact(sim.Second), func() { outerAt = eng.Now() })
+	f.NewGuard(outer.Entry(), "inner", Exact(10*sim.Second), func() { innerAt = eng.Now() })
+	eng.Run(sim.Time(sim.Minute))
+	if innerAt == 0 || innerAt > outerAt {
+		t.Fatalf("inner fired at %v, outer at %v", innerAt, outerAt)
+	}
+	if innerAt != sim.Time(sim.Second) {
+		t.Fatalf("inner not clipped: %v", innerAt)
+	}
+}
+
+func TestProvenanceChain(t *testing.T) {
+	_, f := newF()
+	a := f.Arm("rpc-call", Exact(sim.Second), func() {})
+	b := f.ArmChild(a, "tcp-connect", Exact(500*sim.Millisecond), func() {})
+	chain := b.Chain()
+	if len(chain) != 2 || chain[0] != "tcp-connect" || chain[1] != "rpc-call" {
+		t.Fatalf("chain = %v", chain)
+	}
+	if b.Parent() != a {
+		t.Fatal("parent lost")
+	}
+}
+
+func TestWatchdogKickPreventsExpiry(t *testing.T) {
+	eng, f := newF()
+	w := f.NewWatchdog("wd", sim.Second, 0, func() {})
+	var kick func()
+	kick = func() {
+		w.Kick()
+		if eng.Now() < sim.Time(10*sim.Second) {
+			eng.After(500*sim.Millisecond, "kick", kick)
+		}
+	}
+	eng.After(500*sim.Millisecond, "kick", kick)
+	eng.Run(sim.Time(10 * sim.Second))
+	if w.Expiries != 0 {
+		t.Fatalf("watchdog expired %d times despite kicks", w.Expiries)
+	}
+	eng.Run(sim.Time(20 * sim.Second))
+	if w.Expiries == 0 {
+		t.Fatal("watchdog never expired after kicks stopped")
+	}
+	w.Stop()
+}
+
+func TestDeferredFiresAfterQuiet(t *testing.T) {
+	eng, f := newF()
+	d := f.NewDeferred("lazy-close", sim.Second, 0, func() {})
+	// Activity every 300 ms until t=3 s, then quiet.
+	var touch func()
+	touch = func() {
+		d.Touch()
+		if eng.Now() < sim.Time(3*sim.Second) {
+			eng.After(300*sim.Millisecond, "touch", touch)
+		}
+	}
+	eng.After(0, "touch", touch)
+	eng.Run(sim.Time(10 * sim.Second))
+	if d.Fires != 1 {
+		t.Fatalf("deferred fired %d times, want 1 (after the quiet period)", d.Fires)
+	}
+}
+
+func TestOverlapBothMustExpire(t *testing.T) {
+	eng, f := newF()
+	var which int
+	var at sim.Time
+	o := f.ArmOverlapping(BothMustExpire, "dhcp", 10*sim.Second, 5*sim.Second, func(w int) { which, at = w, eng.Now() })
+	if f.PendingWakeups() != 1 {
+		t.Fatalf("wakeups = %d, want 1 (one timer elided)", f.PendingWakeups())
+	}
+	eng.Run(sim.Time(sim.Minute))
+	if which != 1 || at != sim.Time(10*sim.Second) {
+		t.Fatalf("which=%d at=%v", which, at)
+	}
+	if f.Stats().Elided != 1 {
+		t.Fatalf("elided = %d", f.Stats().Elided)
+	}
+	_ = o
+}
+
+func TestOverlapEitherMayExpire(t *testing.T) {
+	eng, f := newF()
+	var which int
+	var at sim.Time
+	f.ArmOverlapping(EitherMayExpire, "lookup", 10*sim.Second, 5*sim.Second, func(w int) { which, at = w, eng.Now() })
+	eng.Run(sim.Time(sim.Minute))
+	if which != 2 || at != sim.Time(5*sim.Second) {
+		t.Fatalf("which=%d at=%v", which, at)
+	}
+}
+
+func TestOverlapChainedCancelBeforeFirstStage(t *testing.T) {
+	// NeitherNeedExpire: canceling before the short stage means the long
+	// timer is never registered at all.
+	eng, f := newF()
+	o := f.ArmOverlapping(NeitherNeedExpire, "ka-vs-rto", 7200*sim.Second, sim.Second, func(int) {})
+	arms := f.Stats().Arms
+	eng.At(sim.Time(500*sim.Millisecond), "cancel", func() {
+		if !o.Cancel() {
+			t.Error("cancel failed")
+		}
+	})
+	eng.Run(sim.Time(sim.Minute))
+	if f.Stats().Arms != arms {
+		t.Fatal("second stage was armed despite cancel")
+	}
+	if o.Pending() {
+		t.Fatal("still pending")
+	}
+}
+
+func TestOverlapChainedSecondStage(t *testing.T) {
+	eng, f := newF()
+	var fires []int
+	f.ArmOverlapping(NeitherNeedExpire, "x", 3*sim.Second, sim.Second, func(w int) { fires = append(fires, w) })
+	eng.Run(sim.Time(sim.Minute))
+	// Stage 2 fires at 1 s, stage 1 at 3 s (1 s + 2 s remainder).
+	if len(fires) != 2 || fires[0] != 2 || fires[1] != 1 {
+		t.Fatalf("fires = %v", fires)
+	}
+	if eng.Now() < sim.Time(3*sim.Second) {
+		t.Fatal("chain ended early")
+	}
+}
+
+func TestEstimatorQuantiles(t *testing.T) {
+	var e Estimator
+	if e.Quantile(0.99) != 0 {
+		t.Fatal("empty estimator should return 0")
+	}
+	// 1000 samples around 10 ms, 10 around 300 ms.
+	for i := 0; i < 1000; i++ {
+		e.Observe(10 * sim.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		e.Observe(300 * sim.Millisecond)
+	}
+	q50 := e.Quantile(0.5)
+	q999 := e.Quantile(0.999)
+	if q50 < 8*sim.Millisecond || q50 > 17*sim.Millisecond {
+		t.Fatalf("q50 = %v", q50)
+	}
+	if q999 < 250*sim.Millisecond || q999 > 600*sim.Millisecond {
+		t.Fatalf("q999 = %v", q999)
+	}
+	if e.Samples() != 1010 {
+		t.Fatalf("samples = %d", e.Samples())
+	}
+}
+
+func TestEstimatorLevelShift(t *testing.T) {
+	var e Estimator
+	for i := 0; i < 500; i++ {
+		e.Observe(time10ms())
+	}
+	before := e.Quantile(0.99)
+	// The user moves from LAN to WAN: latency jumps 20×.
+	for i := 0; i < 60; i++ {
+		e.Observe(200 * sim.Millisecond)
+	}
+	after := e.Quantile(0.99)
+	if e.Shifts == 0 {
+		t.Fatal("level shift not detected")
+	}
+	if after <= before*4 {
+		t.Fatalf("q99 did not track the shift: %v → %v", before, after)
+	}
+}
+
+func time10ms() sim.Duration { return 10 * sim.Millisecond }
+
+// Property: quantiles are monotone in q.
+func TestEstimatorMonotoneProperty(t *testing.T) {
+	check := func(samples []uint32) bool {
+		var e Estimator
+		for _, s := range samples {
+			e.Observe(sim.Duration(s%1_000_000_000) + 1)
+		}
+		last := sim.Duration(-1)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+			v := e.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveTimeoutLifecycle(t *testing.T) {
+	_, f := newF()
+	a := f.NewAdaptiveTimeout("fetch", 0.99, 10*sim.Millisecond, 30*sim.Second)
+	// Cold: conservative ceiling.
+	if a.Current() != 30*sim.Second {
+		t.Fatalf("cold timeout = %v", a.Current())
+	}
+	for i := 0; i < 100; i++ {
+		a.ObserveSuccess(100 * sim.Millisecond)
+	}
+	warm := a.Current()
+	if warm > 2*sim.Second || warm < 100*sim.Millisecond {
+		t.Fatalf("warm timeout = %v, want a small multiple of 100 ms", warm)
+	}
+}
+
+func TestAdaptiveTimeoutRetryBackoff(t *testing.T) {
+	eng, f := newF()
+	a := f.NewAdaptiveTimeout("fetch", 0.99, 10*sim.Millisecond, sim.Minute)
+	for i := 0; i < 100; i++ {
+		a.ObserveSuccess(100 * sim.Millisecond)
+	}
+	base := a.Current()
+	// Retry ordinals back off exponentially, capped at the ceiling.
+	if got := a.CurrentRetry(1); got != 2*base {
+		t.Fatalf("retry 1 = %v, want %v", got, 2*base)
+	}
+	if got := a.CurrentRetry(2); got != 4*base {
+		t.Fatalf("retry 2 = %v, want %v", got, 4*base)
+	}
+	if got := a.CurrentRetry(30); got != sim.Minute {
+		t.Fatalf("retry 30 = %v, want ceiling", got)
+	}
+	// Timeout outcomes are counted.
+	a.ArmRetry(1, func() {})
+	eng.Run(eng.Now().Add(2 * sim.Minute))
+	if a.Timeouts != 1 || a.Successes != 100 {
+		t.Fatalf("counters: %d %d", a.Timeouts, a.Successes)
+	}
+}
+
+func TestAdaptiveDetectsFailureFasterThanFixed30s(t *testing.T) {
+	// The headline experiment (Section 5.1 / the title): with a learned
+	// distribution, failure detection happens orders of magnitude before a
+	// fixed 30 s timeout would fire.
+	eng, f := newF()
+	a := f.NewAdaptiveTimeout("rpc", 0.99, sim.Millisecond, 30*sim.Second)
+	for i := 0; i < 500; i++ {
+		// Typical RPC latencies ~1-5 ms.
+		a.ObserveSuccess(sim.Duration(1+i%5) * sim.Millisecond)
+	}
+	var detectedAt sim.Time
+	start := eng.Now()
+	a.Arm(func() { detectedAt = eng.Now() })
+	eng.Run(eng.Now().Add(sim.Minute))
+	detection := detectedAt.Sub(start)
+	if detection <= 0 {
+		t.Fatal("never detected")
+	}
+	if detection > sim.Second {
+		t.Fatalf("detection took %v, want well under 1 s (vs fixed 30 s)", detection)
+	}
+}
+
+func TestRateTickerMaintainsAverageRate(t *testing.T) {
+	eng, f := newF()
+	rt := f.NewRateTicker("avg", sim.Second, func() {})
+	eng.Run(sim.Time(sim.Minute))
+	// "Every second on average": ±1 tick of 60 despite full-period slack.
+	if rt.Ticks < 58 || rt.Ticks > 61 {
+		t.Fatalf("ticks = %d over 60 s, want ≈60", rt.Ticks)
+	}
+}
+
+func TestRateTickersShareWakeups(t *testing.T) {
+	eng, f := newF()
+	for i := 0; i < 20; i++ {
+		f.NewRateTicker("avg", sim.Second, func() {})
+	}
+	eng.Run(sim.Time(sim.Minute))
+	st := f.Stats()
+	// 20 tickers × 60 ticks with full-period windows: massive batching.
+	if st.Wakeups*5 > st.Fires {
+		t.Fatalf("wakeups = %d for %d fires: rate tickers should batch", st.Wakeups, st.Fires)
+	}
+}
+
+func TestCancelSiblingDuringBatchFire(t *testing.T) {
+	// Two entries share a batch; the first callback cancels the second.
+	// The canceled sibling must not fire.
+	eng, f := newF()
+	var fired []string
+	var b *Entry
+	f.Arm("a", Window(sim.Second, 100*sim.Millisecond), func() {
+		fired = append(fired, "a")
+		f.Cancel(b)
+	})
+	b = f.Arm("b", Window(sim.Second, 100*sim.Millisecond), func() {
+		fired = append(fired, "b")
+	})
+	if f.PendingWakeups() != 1 {
+		t.Fatalf("wakeups = %d", f.PendingWakeups())
+	}
+	eng.Run(sim.Time(sim.Minute))
+	if len(fired) != 1 || fired[0] != "a" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestArmDuringBatchFire(t *testing.T) {
+	// Arming inside a batch callback must not disturb the firing batch.
+	eng, f := newF()
+	n := 0
+	f.Arm("a", Exact(sim.Second), func() {
+		f.Arm("child", Exact(sim.Second), func() { n += 10 })
+		n++
+	})
+	eng.Run(sim.Time(sim.Minute))
+	if n != 11 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestArmChildOfExpiredParentUnclipped(t *testing.T) {
+	eng, f := newF()
+	parent := f.Arm("p", Exact(100*sim.Millisecond), func() {})
+	eng.Run(sim.Time(sim.Second))
+	var at sim.Time
+	f.ArmChild(parent, "c", Exact(5*sim.Second), func() { at = eng.Now() })
+	eng.Run(sim.Time(sim.Minute))
+	// The parent already resolved; the child keeps its own deadline.
+	if at != sim.Time(6*sim.Second) {
+		t.Fatalf("child fired at %v", at)
+	}
+}
+
+func TestOverlapCancelAfterFireReturnsFalse(t *testing.T) {
+	eng, f := newF()
+	o := f.ArmOverlapping(EitherMayExpire, "x", 2*sim.Second, sim.Second, func(int) {})
+	eng.Run(sim.Time(sim.Minute))
+	if o.Cancel() {
+		t.Fatal("cancel after fire returned true")
+	}
+}
+
+// TestDHCPRenewalTimers reproduces the paper's Section 5.2 worked example:
+// DHCP's T1 (renew) and T2 (rebind) timers overlap, and "either just t1, or
+// both t1 and t2 expiring signify a failure" — so max(t1, t2) is the
+// effective deadline and one registration suffices (RFC 2131 §4.4.5).
+func TestDHCPRenewalTimers(t *testing.T) {
+	eng, f := newF()
+	const lease = 80 * sim.Second
+	t1 := lease / 2     // renew at 50% of lease
+	t2 := lease * 7 / 8 // rebind at 87.5%
+	renewed := false
+	var deadlineAt sim.Time
+	o := f.ArmOverlapping(BothMustExpire, "dhcp/renewal", t2, t1, func(int) {
+		deadlineAt = eng.Now()
+	})
+	// The DHCP server answers the renew request before T2: the whole pair
+	// cancels with one operation and one pending timer ever existed.
+	eng.At(sim.Time(t1).Add(2*sim.Second), "dhcpack", func() {
+		renewed = o.Cancel()
+	})
+	eng.Run(sim.Time(2 * sim.Minute))
+	if !renewed {
+		t.Fatal("renewal did not cancel the pair")
+	}
+	if deadlineAt != 0 {
+		t.Fatalf("deadline fired at %v despite renewal", deadlineAt)
+	}
+	if f.Stats().Elided != 1 {
+		t.Fatalf("elided = %d, want the redundant timer dropped", f.Stats().Elided)
+	}
+
+	// A dead server: the single registration fires at max(t1, t2).
+	var missAt sim.Time
+	f.ArmOverlapping(BothMustExpire, "dhcp/renewal", t2, t1, func(int) {
+		missAt = eng.Now()
+	})
+	start := eng.Now()
+	eng.Run(eng.Now().Add(2 * sim.Minute))
+	if missAt.Sub(start) != t2 {
+		t.Fatalf("deadline at +%v, want %v", missAt.Sub(start), t2)
+	}
+}

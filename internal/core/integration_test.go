@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"testing"
+
+	"timerstudy/internal/core"
+	"timerstudy/internal/jiffies"
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// The facility deployed over the Linux jiffy subsystem: the "short-term
+// enhancement" path — batching shows up directly as fewer kernel timers.
+func TestFacilityOverJiffiesBase(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := trace.NewBuffer(1 << 16)
+	base := jiffies.NewBase(eng, tr)
+	f := core.New(jiffies.CoreBackend{Base: base})
+
+	var at sim.Time
+	f.Arm("x", core.Exact(sim.Second), func() { at = eng.Now() })
+	eng.Run(sim.Time(10 * sim.Second))
+	if at != sim.Time(sim.Second) {
+		t.Fatalf("fired at %v (jiffy-aligned 1 s expected)", at)
+	}
+
+	// Ten sloppy entries: one kernel timer set.
+	before := tr.Counters().ByOp[trace.OpSet]
+	fired := 0
+	for i := 0; i < 10; i++ {
+		f.Arm("y", core.Window(sim.Second, 500*sim.Millisecond), func() { fired++ })
+	}
+	eng.Run(eng.Now().Add(5 * sim.Second))
+	if fired != 10 {
+		t.Fatalf("fired = %d", fired)
+	}
+	sets := tr.Counters().ByOp[trace.OpSet] - before
+	// One batch target, possibly retargeted a few times as entries join;
+	// far fewer than ten independent kernel timers.
+	if sets > 11 {
+		t.Fatalf("kernel sets = %d for 10 coalesced entries", sets)
+	}
+	if facTimers := countOrigin(tr, "core:facility-wakeup"); facTimers == 0 {
+		t.Fatal("no facility wakeups visible in the kernel trace")
+	}
+}
+
+func countOrigin(tr *trace.Buffer, origin string) int {
+	n := 0
+	for _, r := range tr.Records() {
+		if tr.OriginName(r.Origin) == origin {
+			n++
+		}
+	}
+	return n
+}
+
+// Sub-jiffy precision is lost over the jiffies backend (as it must be):
+// the facility fires on the next tick, never early.
+func TestFacilityOverJiffiesQuantizes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	base := jiffies.NewBase(eng, trace.NewBuffer(0))
+	f := core.New(jiffies.CoreBackend{Base: base})
+	var at sim.Time
+	f.Arm("x", core.Exact(sim.Millisecond), func() { at = eng.Now() })
+	eng.Run(sim.Time(sim.Second))
+	if at < sim.Time(sim.Millisecond) {
+		t.Fatalf("fired early: %v", at)
+	}
+	if at != sim.Time(4*sim.Millisecond) {
+		t.Fatalf("fired at %v, want the 4 ms jiffy", at)
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"timerstudy/internal/sim"
+)
+
+// The Section 5.4 use-case interfaces: one purpose-built abstraction per
+// usage pattern the study identifies, replacing "a single set/cancel
+// interface used differently in practice".
+
+// Ticker is the periodic pattern: "every time period of length t, invoke
+// function f". The schedule is drift-free — periods are counted from an
+// absolute phase, so the callback's own latency does not accumulate, one of
+// the advantages Section 5.4 names ("not having to reset themselves and
+// correct for the time taken"). Slack lets imprecise tickers batch while
+// the long-run average frequency is preserved.
+type Ticker struct {
+	f       *Facility
+	origin  string
+	period  sim.Duration
+	slack   sim.Duration
+	next    sim.Time
+	entry   *Entry
+	fn      func()
+	stopped bool
+	// Ticks counts deliveries.
+	Ticks uint64
+}
+
+// NewTicker starts a periodic ticker. slack = 0 gives a precise ticker.
+func (f *Facility) NewTicker(origin string, period, slack sim.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("core: ticker period must be positive")
+	}
+	t := &Ticker{f: f, origin: origin, period: period, slack: slack, fn: fn}
+	t.next = f.Now().Add(period)
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	delay := t.next.Sub(t.f.Now())
+	if delay < 0 {
+		delay = 0
+	}
+	t.entry = t.f.Arm(t.origin, Window(delay, t.slack), func() {
+		if t.stopped {
+			return
+		}
+		t.Ticks++
+		// Drift-free: the next deadline advances from the schedule, not
+		// from the (possibly slack-delayed) fire instant.
+		t.next = t.next.Add(t.period)
+		for t.next.Sub(t.f.Now()) < 0 {
+			t.next = t.next.Add(t.period) // skip missed periods
+		}
+		t.arm()
+		t.fn()
+	})
+}
+
+// Stop halts the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.f.Cancel(t.entry)
+}
+
+// RateTicker is the loosest periodic spec of Section 5.3: "every 5 minutes,
+// on average over an hour". Individual ticks may land anywhere within a
+// whole period of their nominal slot (maximum batching freedom), but the
+// drift-free schedule guarantees the long-run rate exactly.
+type RateTicker struct {
+	*Ticker
+}
+
+// NewRateTicker starts an average-rate ticker: period sets the rate; each
+// tick's window spans the full period.
+func (f *Facility) NewRateTicker(origin string, period sim.Duration, fn func()) *RateTicker {
+	return &RateTicker{Ticker: f.NewTicker(origin, period, period-sim.Nanosecond, fn)}
+}
+
+// Guard is the timeout pattern: "if this procedure has not returned in time
+// t, invoke function e" — the auto-object idiom Win32 GUI code uses. Create
+// it at procedure entry, call Done at return; the expiry handler runs only
+// if Done came too late.
+type Guard struct {
+	entry *Entry
+	f     *Facility
+	done  bool
+}
+
+// NewGuard arms a timeout guard. parent may be nil; with a parent, the
+// nesting rule applies (an inner guard never outlasts its parent).
+func (f *Facility) NewGuard(parent *Entry, origin string, spec Spec, onTimeout func()) *Guard {
+	g := &Guard{f: f}
+	g.entry = f.ArmChild(parent, origin, spec, func() {
+		if !g.done {
+			g.done = true
+			onTimeout()
+		}
+	})
+	return g
+}
+
+// Done reports completion; it returns true if the guard was still pending
+// (i.e. the timeout has not fired).
+func (g *Guard) Done() bool {
+	if g.done {
+		return false
+	}
+	g.done = true
+	return g.f.Cancel(g.entry)
+}
+
+// Entry exposes the underlying entry so children can nest under it.
+func (g *Guard) Entry() *Entry { return g.entry }
+
+// Watchdog is the watchdog pattern: "if this code path has not been
+// executed within time t, invoke function f". Kick defers expiry by the
+// full interval. Unlike the raw re-set idiom, kicking is cheap: the
+// facility only re-arms the backend when the deadline's batch must move.
+type Watchdog struct {
+	f        *Facility
+	origin   string
+	interval sim.Duration
+	slack    sim.Duration
+	entry    *Entry
+	fn       func()
+	stopped  bool
+	// Expiries counts firings (a healthy watchdog has zero).
+	Expiries uint64
+}
+
+// NewWatchdog arms a watchdog; it must be kicked at least every interval.
+func (f *Facility) NewWatchdog(origin string, interval, slack sim.Duration, onExpire func()) *Watchdog {
+	w := &Watchdog{f: f, origin: origin, interval: interval, slack: slack, fn: onExpire}
+	w.arm()
+	return w
+}
+
+func (w *Watchdog) arm() {
+	w.entry = w.f.Arm(w.origin, Window(w.interval, w.slack), func() {
+		if w.stopped {
+			return
+		}
+		w.Expiries++
+		w.fn()
+	})
+}
+
+// Kick defers the watchdog by a full interval.
+func (w *Watchdog) Kick() {
+	if w.stopped {
+		return
+	}
+	w.f.Cancel(w.entry)
+	w.arm()
+}
+
+// Stop disarms the watchdog.
+func (w *Watchdog) Stop() {
+	w.stopped = true
+	w.f.Cancel(w.entry)
+}
+
+// Delay is the delay pattern: "after time t, invoke function e" — the one
+// case matching the traditional API directly.
+func (f *Facility) Delay(origin string, spec Spec, fn func()) *Entry {
+	return f.Arm(origin, spec, fn)
+}
+
+// Deferred is the Vista lazy-work pattern of Section 4.1.1: Touch marks
+// activity; fn runs once the resource has been quiet for the interval, then
+// the cycle restarts on the next Touch.
+type Deferred struct {
+	f        *Facility
+	origin   string
+	interval sim.Duration
+	slack    sim.Duration
+	entry    *Entry
+	fn       func()
+	// Fires counts quiet-period expirations.
+	Fires uint64
+}
+
+// NewDeferred creates an idle-triggered action. It stays disarmed until the
+// first Touch.
+func (f *Facility) NewDeferred(origin string, interval, slack sim.Duration, fn func()) *Deferred {
+	return &Deferred{f: f, origin: origin, interval: interval, slack: slack, fn: fn}
+}
+
+// Touch marks activity, deferring (or starting) the quiet-period timer.
+func (d *Deferred) Touch() {
+	if d.entry.Pending() {
+		d.f.Cancel(d.entry)
+	}
+	d.entry = d.f.Arm(d.origin, Window(d.interval, d.slack), func() {
+		d.Fires++
+		d.fn()
+	})
+}
+
+// Pending reports whether a quiet-period timer is armed.
+func (d *Deferred) Pending() bool { return d.entry.Pending() }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"timerstudy/internal/sim"
+)
+
+// Section 5.2: declared relationships between timers. When code knows that
+// two timeouts overlap and how their expiries relate, the facility can
+// register fewer concurrent timers — or only one.
+
+// OverlapKind classifies an overlapping pair t1, t2 (t1 set at or before
+// t2, expiring later), following the paper's taxonomy.
+type OverlapKind int
+
+const (
+	// BothMustExpire: either just t1, or both expiring signify the
+	// failure; max(t1, t2) is the effective expiry and t2 is redundant
+	// (the paper's case 1a, citing DHCP's T1/T2 renewal timers).
+	BothMustExpire OverlapKind = iota
+	// EitherMayExpire: only the earlier deadline matters; min(t1, t2) is
+	// the effective expiry and the longer timer is redundant (case 1b).
+	EitherMayExpire
+	// NeitherNeedExpire: the timers guard the same liveness and cancel
+	// together (case 1c, TCP keepalive vs retransmission); the facility
+	// arms the shorter one and chains the longer for the remainder only if
+	// the shorter actually expires — the overlap-to-dependency
+	// transformation that reduces concurrent timers.
+	NeitherNeedExpire
+)
+
+// Overlap is a pair of logically overlapping timeouts armed through the
+// minimal set of real timers.
+type Overlap struct {
+	f      *Facility
+	live   *Entry
+	chain  func() // arms the second stage, for NeitherNeedExpire
+	done   bool
+	onFire func(which int)
+}
+
+// ArmOverlapping arms the declared pair: d1 is the longer timeout, d2 the
+// shorter (d2 <= d1 is enforced by swapping). onExpire receives 1 or 2 for
+// which logical timeout fired. The return's Cancel covers both.
+func (f *Facility) ArmOverlapping(kind OverlapKind, origin string, d1, d2 sim.Duration, onExpire func(which int)) *Overlap {
+	if d2 > d1 {
+		d1, d2 = d2, d1
+	}
+	o := &Overlap{f: f, onFire: onExpire}
+	switch kind {
+	case BothMustExpire:
+		// Only max matters: one timer at d1; d2 never armed.
+		f.stats.Elided++
+		o.live = f.Arm(origin, Exact(d1), func() { o.fire(1) })
+	case EitherMayExpire:
+		// Only min matters: one timer at d2; d1 never armed.
+		f.stats.Elided++
+		o.live = f.Arm(origin, Exact(d2), func() { o.fire(2) })
+	case NeitherNeedExpire:
+		// Chain: arm d2; if it expires, arm the remainder to d1. A cancel
+		// before d2 means d1 was never registered at all.
+		remainder := d1 - d2
+		o.live = f.Arm(origin, Exact(d2), func() {
+			if o.done {
+				return
+			}
+			o.onFire(2)
+			if o.done {
+				return
+			}
+			o.live = f.Arm(origin, Exact(remainder), func() { o.fire(1) })
+		})
+	}
+	return o
+}
+
+func (o *Overlap) fire(which int) {
+	if o.done {
+		return
+	}
+	o.done = true
+	o.onFire(which)
+}
+
+// Cancel stops whichever real timer is live; both logical timeouts are
+// dead afterwards.
+func (o *Overlap) Cancel() bool {
+	if o.done {
+		return false
+	}
+	o.done = true
+	return o.f.Cancel(o.live)
+}
+
+// Pending reports whether the pair can still fire.
+func (o *Overlap) Pending() bool { return !o.done && o.live.Pending() }

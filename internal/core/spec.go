@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"timerstudy/internal/sim"
+)
+
+// Spec is the richer expression of "when" from Section 5.3: a window of
+// acceptable fire instants rather than a point. "Please wake up this thread
+// at some convenient time in the next 10 minutes" becomes
+// Window(0, 10*Minute); "in 600.0 s ± 10 ms" becomes Exact(600s) (a
+// degenerate window). The wider the window, the more freedom the facility
+// has to batch wakeups.
+type Spec struct {
+	// After is the earliest acceptable delay from now.
+	After sim.Duration
+	// Slack widens the window: the timer may fire up to Slack after After.
+	Slack sim.Duration
+}
+
+// Exact is the traditional precise timeout: fire at exactly d from now
+// (subject to the backend's own granularity).
+func Exact(d sim.Duration) Spec { return Spec{After: d} }
+
+// Window allows firing anywhere in [d, d+slack] — the generalized
+// round_jiffies/deferrable/coalescing spec.
+func Window(d, slack sim.Duration) Spec { return Spec{After: d, Slack: slack} }
+
+// AnyTimeAfter is the Section 5.3 example "any time after 10 minutes, for a
+// delay timer": a window with generous slack proportional to the delay.
+func AnyTimeAfter(d sim.Duration) Spec { return Spec{After: d, Slack: d / 4} }
+
+// window resolves the spec against now.
+func (s Spec) window(now sim.Time) (earliest, latest sim.Time) {
+	after := s.After
+	if after < 0 {
+		after = 0
+	}
+	slack := s.Slack
+	if slack < 0 {
+		slack = 0
+	}
+	return now.Add(after), now.Add(after + slack)
+}
+
+// String renders the spec for diagnostics.
+func (s Spec) String() string {
+	if s.Slack == 0 {
+		return fmt.Sprintf("exact(%v)", s.After)
+	}
+	return fmt.Sprintf("window(%v+%v)", s.After, s.Slack)
+}

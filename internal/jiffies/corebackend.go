@@ -1,0 +1,29 @@
+package jiffies
+
+import (
+	"timerstudy/internal/sim"
+)
+
+// CoreBackend adapts the Linux standard timer base as a backend for the
+// redesigned core facility, showing the clean-slate design deployable as a
+// layer over today's kernel interface (the Section 5 "short-term
+// enhancements" path): every facility wakeup becomes one kernel timer, so
+// the facility's batching directly reduces jiffy-timer traffic.
+//
+// It satisfies the core package's Backend interface without importing it
+// (same method set), keeping the dependency pointing upward only.
+type CoreBackend struct {
+	// Base is the timer base to arm on.
+	Base *Base
+}
+
+// Now implements core.Backend.
+func (b CoreBackend) Now() sim.Time { return b.Base.Now() }
+
+// At implements core.Backend: one quiet kernel timer per facility wakeup.
+func (b CoreBackend) At(t sim.Time, fn func()) func() bool {
+	tm := &Timer{Quiet: false}
+	b.Base.Init(tm, "core:facility-wakeup", 0, fn)
+	b.Base.Mod(tm, TimeToJiffies(t))
+	return func() bool { return b.Base.Del(tm) }
+}

@@ -1,0 +1,100 @@
+package jiffies
+
+import (
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// HighRes is the hrtimer facility added in Linux 2.6.16 (Section 2.1): a
+// second, independent timer subsystem with nanosecond-resolution expiry
+// driven from a per-CPU clock event device rather than the jiffy tick. In
+// the simulation it schedules directly on the engine — the moral equivalent
+// of programming the LAPIC one-shot comparator.
+type HighRes struct {
+	eng    *sim.Engine
+	tr     *trace.Buffer
+	nextID uint64
+}
+
+// NewHighRes returns an hrtimer facility sharing the trace buffer with the
+// standard subsystem. hrtimer IDs are drawn from a separate space (top bit
+// set) so analyses can tell the facilities apart.
+func NewHighRes(eng *sim.Engine, tr *trace.Buffer) *HighRes {
+	return &HighRes{eng: eng, tr: tr}
+}
+
+// HRTimer is the analog of struct hrtimer.
+type HRTimer struct {
+	hr       *HighRes
+	ev       *sim.Event
+	fn       func()
+	id       uint64
+	originID uint32
+
+	// Origin and PID attribute operations, as for Timer.
+	Origin string
+	PID    int32
+	// UserFlagged marks user-space-requested high-resolution sleeps.
+	UserFlagged bool
+}
+
+const hrIDBit = uint64(1) << 63
+
+// Init prepares the hrtimer (hrtimer_init).
+func (h *HighRes) Init(t *HRTimer, origin string, pid int32, fn func()) {
+	h.nextID++
+	t.hr = h
+	t.fn = fn
+	t.id = h.nextID | hrIDBit
+	t.Origin = origin
+	t.PID = pid
+	t.originID = h.tr.Origin(origin)
+	h.tr.Log(trace.Record{
+		T: h.eng.Now(), Op: trace.OpInit, TimerID: t.id,
+		PID: pid, Origin: t.originID, Flags: t.flags(),
+	})
+}
+
+func (t *HRTimer) flags() trace.Flags {
+	if t.UserFlagged {
+		return trace.FlagUser
+	}
+	return 0
+}
+
+// Pending reports whether the hrtimer is armed.
+func (t *HRTimer) Pending() bool { return t.ev != nil && t.ev.Pending() }
+
+// Start arms the hrtimer for a relative duration (hrtimer_start).
+func (h *HighRes) Start(t *HRTimer, d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if t.Pending() {
+		h.eng.Cancel(t.ev)
+	}
+	t.ev = h.eng.After(d, "hrtimer:"+t.Origin, func() {
+		h.tr.Log(trace.Record{
+			T: h.eng.Now(), Op: trace.OpExpire, TimerID: t.id,
+			PID: t.PID, Origin: t.originID, Flags: t.flags(),
+		})
+		t.fn()
+	})
+	h.tr.Log(trace.Record{
+		T: h.eng.Now(), Op: trace.OpSet, TimerID: t.id, Timeout: int64(d),
+		PID: t.PID, Origin: t.originID, Flags: t.flags(),
+	})
+}
+
+// Cancel disarms the hrtimer (hrtimer_cancel). Always logged as an access.
+func (h *HighRes) Cancel(t *HRTimer) bool {
+	active := t.Pending()
+	if active {
+		h.eng.Cancel(t.ev)
+	}
+	h.tr.Log(trace.Record{
+		T: h.eng.Now(), Op: trace.OpCancel, TimerID: t.id,
+		PID: t.PID, Origin: t.originID, Flags: t.flags(),
+	})
+	return active
+}

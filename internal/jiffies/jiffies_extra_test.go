@@ -1,0 +1,186 @@
+package jiffies
+
+import (
+	"math/rand"
+	"testing"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// Property-style: under a random mod/del/run schedule, timers never fire
+// before their programmed jiffy and never more than one cascade-tick late.
+func TestNeverEarlyNeverLostUnderRandomOps(t *testing.T) {
+	eng := sim.NewEngine(5)
+	tr := trace.NewBuffer(0)
+	b := NewBase(eng, tr)
+	rng := rand.New(rand.NewSource(9))
+
+	type state struct {
+		t        *Timer
+		expireAt uint64 // jiffy it was last armed for, 0 when idle
+	}
+	timers := make([]*state, 40)
+	for i := range timers {
+		st := &state{t: &Timer{}}
+		b.Init(st.t, "kernel/fuzz", 0, func() {
+			now := b.Jiffies()
+			if st.expireAt == 0 {
+				t.Errorf("fired while idle")
+			} else if now < st.expireAt {
+				t.Errorf("fired at jiffy %d, armed for %d (early)", now, st.expireAt)
+			} else if now > st.expireAt+1 {
+				t.Errorf("fired at jiffy %d, armed for %d (late)", now, st.expireAt)
+			}
+			st.expireAt = 0
+		})
+		timers[i] = st
+	}
+	var step func()
+	step = func() {
+		st := timers[rng.Intn(len(timers))]
+		switch rng.Intn(3) {
+		case 0, 1:
+			dj := uint64(rng.Intn(800) + 1)
+			st.expireAt = b.Jiffies() + dj
+			b.Mod(st.t, st.expireAt)
+		case 2:
+			if b.Del(st.t) {
+				st.expireAt = 0
+			}
+		}
+		if eng.Now() < sim.Time(20*sim.Second) {
+			eng.After(sim.Duration(rng.Intn(int(100*sim.Millisecond)))+1, "fuzz", step)
+		}
+	}
+	eng.After(0, "fuzz", step)
+	eng.Run(sim.Time(30 * sim.Second))
+	// Everything armed for within the horizon must have fired.
+	for i, st := range timers {
+		if st.expireAt != 0 && st.expireAt < b.Jiffies() {
+			t.Errorf("timer %d lost: armed for %d, now %d", i, st.expireAt, b.Jiffies())
+		}
+	}
+}
+
+func TestQuietTimerProducesNoRecords(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := trace.NewBuffer(1 << 10)
+	b := NewBase(eng, tr)
+	tm := &Timer{Quiet: true}
+	b.Init(tm, "syscall/x", 1, func() {})
+	b.ModTimeout(tm, 10*sim.Millisecond)
+	b.Del(tm)
+	b.ModTimeout(tm, 10*sim.Millisecond)
+	eng.Run(sim.Time(sim.Second))
+	if tr.Counters().Total != 0 {
+		t.Fatalf("quiet timer logged %d records", tr.Counters().Total)
+	}
+}
+
+func TestReinitAfterFire(t *testing.T) {
+	eng, _, b := newTestBase()
+	n := 0
+	tm := &Timer{}
+	b.Init(tm, "kernel/a", 0, func() { n += 1 })
+	b.ModTimeout(tm, 10*sim.Millisecond)
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	// Re-initialize the fired struct with a new callback, kernel-style.
+	b.Init(tm, "kernel/b", 0, func() { n += 100 })
+	b.ModTimeout(tm, 10*sim.Millisecond)
+	eng.Run(sim.Time(sim.Second))
+	if n != 101 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestInitOnPendingPanics(t *testing.T) {
+	_, _, b := newTestBase()
+	tm := &Timer{}
+	b.Init(tm, "kernel/a", 0, func() {})
+	b.ModTimeout(tm, sim.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.Init(tm, "kernel/a", 0, func() {})
+}
+
+func TestRoundJiffiesExactBoundary(t *testing.T) {
+	eng, _, b := newTestBase()
+	eng.Run(sim.Time(2 * sim.Second)) // jiffies = 500
+	// A value already on a second boundary in the future stays put.
+	if got := b.RoundJiffies(750); got != 750 {
+		t.Fatalf("RoundJiffies(750) = %d", got)
+	}
+	// Rounding must never move a value into the past.
+	if got := b.RoundJiffies(b.Jiffies() + 1); got < b.Jiffies()+1 {
+		t.Fatalf("rounded into the past: %d", got)
+	}
+}
+
+func TestDynticksLongSleepWakesForFarTimer(t *testing.T) {
+	// A timer beyond the 1 s idle cap: the tick chain must carry across
+	// multiple idle sleeps and still fire exactly.
+	eng := sim.NewEngine(1)
+	b := NewBase(eng, trace.NewBuffer(0), WithNoHZ(true))
+	var at sim.Time
+	tm := &Timer{}
+	b.Init(tm, "kernel/far", 0, func() { at = eng.Now() })
+	b.ModTimeout(tm, 7*sim.Second)
+	eng.Run(sim.Time(20 * sim.Second))
+	if at != sim.Time(7*sim.Second) {
+		t.Fatalf("fired at %v", at)
+	}
+}
+
+func TestDeferrableFiresWithConcurrentWork(t *testing.T) {
+	// With the CPU busy (periodic non-deferrable activity), deferrable
+	// timers fire essentially on time.
+	eng := sim.NewEngine(1)
+	b := NewBase(eng, trace.NewBuffer(0), WithNoHZ(true))
+	busy := &Timer{}
+	b.Init(busy, "kernel/busy", 0, func() { b.ModTimeout(busy, 20*sim.Millisecond) })
+	b.ModTimeout(busy, 20*sim.Millisecond)
+	var at sim.Time
+	d := &Timer{Deferrable: true}
+	b.Init(d, "kernel/deferrable", 0, func() { at = eng.Now() })
+	b.ModTimeout(d, 100*sim.Millisecond)
+	eng.Run(sim.Time(sim.Second))
+	if at < sim.Time(100*sim.Millisecond) || at > sim.Time(130*sim.Millisecond) {
+		t.Fatalf("deferrable fired at %v on a busy system", at)
+	}
+}
+
+func TestHRTimerIDsDistinctFromStandard(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := trace.NewBuffer(1 << 10)
+	b := NewBase(eng, tr)
+	hr := NewHighRes(eng, tr)
+	st := &Timer{}
+	b.Init(st, "kernel/std", 0, func() {})
+	ht := &HRTimer{}
+	hr.Init(ht, "hrtimer/x", 0, func() {})
+	if st.ID() == ht.id {
+		t.Fatal("ID spaces collide")
+	}
+}
+
+func TestCoreBackendCancel(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := NewBase(eng, trace.NewBuffer(0))
+	cb := CoreBackend{Base: b}
+	ran := false
+	cancel := cb.At(cb.Now().Add(sim.Second), func() { ran = true })
+	if !cancel() {
+		t.Fatal("cancel failed")
+	}
+	if cancel() {
+		t.Fatal("double cancel succeeded")
+	}
+	eng.Run(sim.Time(2 * sim.Second))
+	if ran {
+		t.Fatal("canceled backend timer fired")
+	}
+}

@@ -1,0 +1,393 @@
+// Package kernel provides the simulated operating-system glue for the Linux
+// personality: processes, the timer-relevant syscall layer (select, poll,
+// nanosleep, alarm, the POSIX timer API), and the rules by which user-space
+// timeout values reach the kernel timer subsystem.
+//
+// Two details from Section 3.1 of the paper are load-bearing here:
+//
+//  1. user-space timeout values are recorded at the system-call boundary,
+//     where the caller-supplied relative value is visible exactly (no
+//     jitter), and
+//  2. when select/poll return early due to file-descriptor activity, Linux
+//     writes back the *remaining* time, and event-loop programs (the X
+//     server, icewm) immediately re-issue select with that remainder —
+//     producing the countdown pattern of Figure 4 that the analysis must
+//     detect and filter.
+//
+// All blocking syscalls take continuation callbacks: the simulation is
+// event-driven, so "the process blocks" means "the continuation runs later".
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"timerstudy/internal/jiffies"
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// Linux bundles the simulated Linux system: engine, tracer, the standard
+// timer base and the hrtimer facility.
+type Linux struct {
+	eng     *sim.Engine
+	tr      *trace.Buffer
+	base    *jiffies.Base
+	hr      *jiffies.HighRes
+	nextPID int32
+	procs   []*Process
+}
+
+// NewLinux boots a simulated Linux system. Base options (dynticks, wheel
+// choice) pass through to the jiffies base.
+func NewLinux(eng *sim.Engine, tr *trace.Buffer, opts ...jiffies.Option) *Linux {
+	return &Linux{
+		eng:  eng,
+		tr:   tr,
+		base: jiffies.NewBase(eng, tr, opts...),
+		hr:   jiffies.NewHighRes(eng, tr),
+	}
+}
+
+// Engine returns the simulation engine.
+func (l *Linux) Engine() *sim.Engine { return l.eng }
+
+// Trace returns the trace buffer.
+func (l *Linux) Trace() *trace.Buffer { return l.tr }
+
+// Base returns the standard timer base (for kernel subsystems).
+func (l *Linux) Base() *jiffies.Base { return l.base }
+
+// HighRes returns the hrtimer facility.
+func (l *Linux) HighRes() *jiffies.HighRes { return l.hr }
+
+// Now returns current virtual time.
+func (l *Linux) Now() sim.Time { return l.eng.Now() }
+
+// Rand returns the deterministic random source.
+func (l *Linux) Rand() *rand.Rand { return l.eng.Rand() }
+
+// KernelTimer allocates and initializes a kernel-internal timer with the
+// given origin label, the idiom kernel subsystems use (statically allocated
+// struct + init_timer).
+func (l *Linux) KernelTimer(origin string, fn func()) *jiffies.Timer {
+	t := &jiffies.Timer{}
+	l.base.Init(t, origin, 0, fn)
+	return t
+}
+
+// Process is a simulated user process.
+type Process struct {
+	l *Linux
+	// PID is the process identifier (assigned sequentially from 1000, like
+	// a freshly booted desktop).
+	PID int32
+	// Name is the executable name used in origins ("Xorg", "firefox-bin").
+	Name string
+
+	// main is the process's main thread; its select/poll timers model the
+	// on-stack timer structures of the respective syscall paths: one
+	// stable identity per thread per syscall, which is what lets the
+	// analysis correlate the X server's successive select timeouts
+	// (Figure 4).
+	main *Thread
+
+	alarmTimer  *jiffies.Timer
+	alarmOrigin uint32
+}
+
+// Thread is one thread of a process: it owns the per-thread on-stack timer
+// structures used by blocking syscalls, so concurrent select/poll loops in
+// one process (Firefox's event-loop threads) do not share timer identities.
+type Thread struct {
+	p           *Process
+	selectTimer *jiffies.Timer
+	pollTimer   *jiffies.Timer
+
+	selOrigin, pollOrigin uint32
+}
+
+// NewProcess registers a process.
+func (l *Linux) NewProcess(name string) *Process {
+	l.nextPID++
+	p := &Process{l: l, PID: 999 + l.nextPID, Name: name}
+	p.main = p.NewThread()
+	p.alarmTimer = p.quietTimer(name + "/alarm")
+	p.alarmOrigin = l.tr.Origin(name + "/alarm")
+	l.procs = append(l.procs, p)
+	return p
+}
+
+// NewThread adds a thread to the process. Origins stay per call site
+// (process + syscall), as the paper's stack-based attribution groups them,
+// but each thread's syscall timers have their own identity.
+func (p *Process) NewThread() *Thread {
+	t := &Thread{p: p}
+	t.selectTimer = p.quietTimer(p.Name + "/select")
+	t.pollTimer = p.quietTimer(p.Name + "/poll")
+	t.selOrigin = p.l.tr.Origin(p.Name + "/select")
+	t.pollOrigin = p.l.tr.Origin(p.Name + "/poll")
+	return t
+}
+
+// Processes returns all registered processes.
+func (l *Linux) Processes() []*Process { return l.procs }
+
+func (p *Process) quietTimer(origin string) *jiffies.Timer {
+	t := &jiffies.Timer{Quiet: true, UserFlagged: true}
+	p.l.base.Init(t, origin, p.PID, nil)
+	return t
+}
+
+// SelectResult is what a select/poll continuation receives.
+type SelectResult struct {
+	// TimedOut is true when the timeout expired with no fd activity.
+	TimedOut bool
+	// Remaining is the unconsumed timeout Linux writes back into the
+	// timeval on early return; zero when TimedOut.
+	Remaining sim.Duration
+}
+
+// Pending is an in-progress blocking syscall. The workload completes it
+// early by calling Complete (file-descriptor activity, signal delivery).
+type Pending struct {
+	done     bool
+	complete func()
+}
+
+// Complete finishes the syscall early (fd became ready). Calling it after
+// completion is a no-op, like a wakeup racing a timeout.
+func (w *Pending) Complete() {
+	if w == nil || w.done {
+		return
+	}
+	w.done = true
+	w.complete()
+}
+
+// Done reports whether the syscall already returned.
+func (w *Pending) Done() bool { return w == nil || w.done }
+
+// Select issues select(2) on the main thread. The continuation receives
+// either a timeout or the remaining time at fd activity. A nil-timeout
+// (blocking forever) select never touches the timer subsystem; model that
+// by not calling Select at all.
+func (p *Process) Select(timeout sim.Duration, cb func(SelectResult)) *Pending {
+	return p.main.Select(timeout, cb)
+}
+
+// Poll issues poll(2) on the main thread.
+func (p *Process) Poll(timeout sim.Duration, cb func(SelectResult)) *Pending {
+	return p.main.Poll(timeout, cb)
+}
+
+// EpollWait issues epoll_wait(2) on the main thread, sharing the poll
+// path's timer, as in the kernel.
+func (p *Process) EpollWait(timeout sim.Duration, cb func(SelectResult)) *Pending {
+	return p.main.Poll(timeout, cb)
+}
+
+// Select issues select(2) from this thread.
+func (t *Thread) Select(timeout sim.Duration, cb func(SelectResult)) *Pending {
+	return t.p.sysTimedBlock(t.selectTimer, t.selOrigin, timeout, cb)
+}
+
+// Poll issues poll(2) from this thread.
+func (t *Thread) Poll(timeout sim.Duration, cb func(SelectResult)) *Pending {
+	return t.p.sysTimedBlock(t.pollTimer, t.pollOrigin, timeout, cb)
+}
+
+func (p *Process) sysTimedBlock(t *jiffies.Timer, origin uint32, timeout sim.Duration, cb func(SelectResult)) *Pending {
+	l := p.l
+	if timeout < 0 {
+		timeout = 0
+	}
+	// The user record: exact requested value, measured at the syscall.
+	l.tr.Log(trace.Record{
+		T: l.eng.Now(), Op: trace.OpSet, TimerID: t.ID(), Timeout: int64(timeout),
+		PID: p.PID, Origin: origin, Flags: trace.FlagUser,
+	})
+	if timeout == 0 {
+		// Non-blocking poll/select: returns immediately, arming nothing.
+		// The zero "timeout value" still reaches the trace (it dominates
+		// the paper's Figure 6 for Skype), paired with a satisfied cancel.
+		l.tr.Log(trace.Record{
+			T: l.eng.Now(), Op: trace.OpCancel, TimerID: t.ID(),
+			PID: p.PID, Origin: origin, Flags: trace.FlagUser | trace.FlagSatisfied,
+		})
+		w := &Pending{done: true}
+		cb(SelectResult{TimedOut: true})
+		return w
+	}
+	w := &Pending{}
+	start := l.eng.Now()
+	deadline := start.Add(timeout)
+	t.SetCallback(func() {
+		if w.done {
+			return
+		}
+		w.done = true
+		l.tr.Log(trace.Record{
+			T: l.eng.Now(), Op: trace.OpExpire, TimerID: t.ID(),
+			PID: p.PID, Origin: origin, Flags: trace.FlagUser,
+		})
+		cb(SelectResult{TimedOut: true})
+	})
+	w.complete = func() {
+		l.base.Del(t)
+		l.tr.Log(trace.Record{
+			T: l.eng.Now(), Op: trace.OpCancel, TimerID: t.ID(),
+			PID: p.PID, Origin: origin, Flags: trace.FlagUser | trace.FlagSatisfied,
+		})
+		remaining := deadline.Sub(l.eng.Now())
+		if remaining < 0 {
+			remaining = 0
+		}
+		// Linux rounds the written-back remainder to timer granularity.
+		remaining = sim.Duration(jiffies.MsecsToJiffies(remaining)) * jiffies.JiffyDuration
+		cb(SelectResult{Remaining: remaining})
+	}
+	t.UserFlagged = true
+	l.base.ModTimeout(t, timeout)
+	return w
+}
+
+// Nanosleep blocks for the given duration via the hrtimer path (2.6.16+).
+func (p *Process) Nanosleep(d sim.Duration, cb func()) {
+	t := &jiffies.HRTimer{UserFlagged: true}
+	p.l.hr.Init(t, p.Name+"/nanosleep", p.PID, cb)
+	p.l.hr.Start(t, d)
+}
+
+// Alarm implements alarm(2): schedule SIGALRM after d; a zero d cancels any
+// pending alarm. Returns the time remaining on a previously pending alarm,
+// as the syscall does.
+func (p *Process) Alarm(d sim.Duration, onSignal func()) sim.Duration {
+	l := p.l
+	var remaining sim.Duration
+	if p.alarmTimer.Pending() {
+		remaining = jiffies.JiffiesToTime(p.alarmTimer.Expires()).Sub(l.eng.Now())
+		l.base.Del(p.alarmTimer)
+		l.tr.Log(trace.Record{
+			T: l.eng.Now(), Op: trace.OpCancel, TimerID: p.alarmTimer.ID(),
+			PID: p.PID, Origin: p.alarmOrigin, Flags: trace.FlagUser,
+		})
+	}
+	if d <= 0 {
+		return remaining
+	}
+	p.alarmTimer.SetCallback(func() {
+		l.tr.Log(trace.Record{
+			T: l.eng.Now(), Op: trace.OpExpire, TimerID: p.alarmTimer.ID(),
+			PID: p.PID, Origin: p.alarmOrigin, Flags: trace.FlagUser,
+		})
+		if onSignal != nil {
+			onSignal()
+		}
+	})
+	l.tr.Log(trace.Record{
+		T: l.eng.Now(), Op: trace.OpSet, TimerID: p.alarmTimer.ID(), Timeout: int64(d),
+		PID: p.PID, Origin: p.alarmOrigin, Flags: trace.FlagUser,
+	})
+	l.base.ModTimeout(p.alarmTimer, d)
+	return remaining
+}
+
+// PosixTimer is a timer created through the POSIX timer API
+// (timer_create/timer_settime/timer_delete) — with alarm(2), the only two
+// Linux system-call routes that arm a timer without blocking (Section 2.1).
+type PosixTimer struct {
+	p        *Process
+	t        *jiffies.Timer
+	origin   uint32
+	interval sim.Duration
+	fn       func()
+	deleted  bool
+}
+
+// TimerCreate allocates a POSIX per-process timer delivering to fn.
+func (p *Process) TimerCreate(label string, fn func()) *PosixTimer {
+	pt := &PosixTimer{p: p, fn: fn}
+	pt.t = p.quietTimer(p.Name + "/timer_settime:" + label)
+	pt.origin = p.l.tr.Origin(p.Name + "/timer_settime:" + label)
+	return pt
+}
+
+// Settime arms the timer: first expiry after value, then periodically every
+// interval (zero interval = one-shot). A zero value disarms.
+func (pt *PosixTimer) Settime(value, interval sim.Duration) {
+	if pt.deleted {
+		panic(fmt.Sprintf("kernel: timer_settime on deleted timer (pid %d)", pt.p.PID))
+	}
+	l := pt.p.l
+	pt.interval = interval
+	if value <= 0 {
+		if pt.t.Pending() {
+			l.base.Del(pt.t)
+			l.tr.Log(trace.Record{
+				T: l.eng.Now(), Op: trace.OpCancel, TimerID: pt.t.ID(),
+				PID: pt.p.PID, Origin: pt.origin, Flags: trace.FlagUser,
+			})
+		}
+		return
+	}
+	pt.t.SetCallback(pt.expire)
+	l.tr.Log(trace.Record{
+		T: l.eng.Now(), Op: trace.OpSet, TimerID: pt.t.ID(), Timeout: int64(value),
+		PID: pt.p.PID, Origin: pt.origin, Flags: trace.FlagUser,
+	})
+	l.base.ModTimeout(pt.t, value)
+}
+
+func (pt *PosixTimer) expire() {
+	l := pt.p.l
+	l.tr.Log(trace.Record{
+		T: l.eng.Now(), Op: trace.OpExpire, TimerID: pt.t.ID(),
+		PID: pt.p.PID, Origin: pt.origin, Flags: trace.FlagUser,
+	})
+	fn := pt.fn
+	if pt.interval > 0 && !pt.deleted {
+		l.tr.Log(trace.Record{
+			T: l.eng.Now(), Op: trace.OpSet, TimerID: pt.t.ID(), Timeout: int64(pt.interval),
+			PID: pt.p.PID, Origin: pt.origin, Flags: trace.FlagUser,
+		})
+		l.base.ModTimeout(pt.t, pt.interval)
+	}
+	if fn != nil {
+		fn()
+	}
+}
+
+// Delete is timer_delete: disarm and invalidate.
+func (pt *PosixTimer) Delete() {
+	if pt.t.Pending() {
+		pt.p.l.base.Del(pt.t)
+		pt.p.l.tr.Log(trace.Record{
+			T: pt.p.l.eng.Now(), Op: trace.OpCancel, TimerID: pt.t.ID(),
+			PID: pt.p.PID, Origin: pt.origin, Flags: trace.FlagUser,
+		})
+	}
+	pt.deleted = true
+}
+
+// ScheduleTimeout is the kernel-internal blocking pattern (Section 2.1): a
+// thread executing in the kernel installs a timer callback and separately
+// asks the scheduler to block. Drivers and kernel threads use it; the
+// timeout is a kernel access, not a user one.
+func (l *Linux) ScheduleTimeout(origin string, d sim.Duration, cb func(timedOut bool)) *Pending {
+	t := &jiffies.Timer{}
+	w := &Pending{}
+	l.base.Init(t, origin, 0, func() {
+		if w.done {
+			return
+		}
+		w.done = true
+		cb(true)
+	})
+	w.complete = func() {
+		l.base.Del(t)
+		cb(false)
+	}
+	l.base.ModTimeout(t, d)
+	return w
+}

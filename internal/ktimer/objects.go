@@ -1,0 +1,221 @@
+package ktimer
+
+import (
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// Object is an NT dispatcher object: anything a thread can wait on. KTimer
+// embeds it; events and processes in the workload models use it directly.
+// Auto-reset (synchronization) objects release exactly one waiter per
+// signal and clear themselves; manual-reset objects stay signaled.
+type Object struct {
+	signaled  bool
+	autoReset bool
+	waiters   []*wait
+}
+
+func (o *Object) init() { o.waiters = nil }
+
+// NewAutoResetEvent returns a synchronization-style event: one waiter is
+// released per signal.
+func NewAutoResetEvent() *Object {
+	o := &Object{autoReset: true}
+	o.init()
+	return o
+}
+
+// NewEvent returns a manual-reset event-style dispatcher object.
+func NewEvent() *Object {
+	o := &Object{}
+	o.init()
+	return o
+}
+
+// Signaled reports the object's state.
+func (o *Object) Signaled() bool { return o.signaled }
+
+// signal sets the object and satisfies waiters: all of them for
+// manual-reset objects, exactly one (consuming the signal) for auto-reset.
+func (o *Object) signal(k *Kernel) {
+	if o.autoReset {
+		if len(o.waiters) > 0 {
+			w := o.waiters[0]
+			o.signaled = false
+			w.satisfy(k)
+			return
+		}
+		o.signaled = true
+		return
+	}
+	o.signaled = true
+	waiters := o.waiters
+	o.waiters = nil
+	for _, w := range waiters {
+		w.satisfy(k)
+	}
+}
+
+// Reset clears the signaled state (ResetEvent).
+func (o *Object) Reset() { o.signaled = false }
+
+// Signal sets an object and wakes its waiters (SetEvent).
+func (k *Kernel) Signal(o *Object) { o.signal(k) }
+
+// WaitResult is the outcome of a timed wait.
+type WaitResult int
+
+const (
+	// WaitSatisfied: the object was signaled before the timeout.
+	WaitSatisfied WaitResult = iota
+	// WaitTimeout: the timeout elapsed first.
+	WaitTimeout
+)
+
+// Thread models the part of an NT thread the timer study cares about: its
+// identity and its dedicated wait KTIMER (Section 2.2: "wait timeouts are
+// implemented using a dedicated KTIMER object in the kernel's thread
+// datastructure and have a fast-path insertion into the kernel timer ring").
+type Thread struct {
+	// PID is the owning process.
+	PID int32
+	// Name labels trace origins, e.g. "outlook.exe!ui".
+	Name string
+
+	k         *Kernel
+	waitTimer *KTimer
+	current   *wait
+}
+
+// NewThread creates a thread with its dedicated wait timer.
+func (k *Kernel) NewThread(pid int32, name string) *Thread {
+	th := &Thread{PID: pid, Name: name, k: k}
+	th.waitTimer = k.NewTimer(name+"/wait", pid, true, nil)
+	return th
+}
+
+// wait is one in-progress timed wait.
+type wait struct {
+	th      *Thread
+	objs    []*Object
+	cb      func(WaitResult)
+	done    bool
+	started sim.Time
+	timeout sim.Duration
+}
+
+func (w *wait) satisfy(k *Kernel) {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.detach()
+	th := w.th
+	th.current = nil
+	// Cancel the wait timer; the FlagSatisfied cancel record is how the
+	// Vista instrumentation distinguishes satisfied waits from timeouts.
+	if th.waitTimer.Pending() {
+		k.table.Cancel(&th.waitTimer.entry)
+	}
+	k.tr.Log(trace.Record{
+		T: k.eng.Now(), Op: trace.OpCancel, TimerID: th.waitTimer.id,
+		PID: th.PID, Origin: th.waitTimer.originID,
+		Flags: th.waitTimer.flags | trace.FlagSatisfied,
+	})
+	cb := w.cb
+	w.cb = nil
+	cb(WaitSatisfied)
+}
+
+func (w *wait) expire(k *Kernel) {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.detach()
+	w.th.current = nil
+	cb := w.cb
+	w.cb = nil
+	cb(WaitTimeout)
+}
+
+// detach removes the wait from all objects' waiter lists.
+func (w *wait) detach() {
+	for _, o := range w.objs {
+		for i, x := range o.waiters {
+			if x == w {
+				o.waiters = append(o.waiters[:i], o.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Forever is the "no timeout" sentinel for waits.
+const Forever = sim.Duration(1<<62 - 1)
+
+// WaitFor is WaitForSingleObject/WaitForMultipleObjects (wait-any): block
+// the thread on the objects with a relative timeout, invoking cb exactly
+// once with the outcome. A wait on an already-signaled object completes
+// immediately without arming the timer. The continuation-passing form
+// replaces real blocking: the simulation is event-driven.
+func (th *Thread) WaitFor(timeout sim.Duration, cb func(WaitResult), objs ...*Object) {
+	if th.current != nil {
+		panic("ktimer: thread already waiting")
+	}
+	k := th.k
+	for _, o := range objs {
+		if o.signaled {
+			if o.autoReset {
+				o.signaled = false // the wait consumes the signal
+			}
+			cb(WaitSatisfied)
+			return
+		}
+	}
+	if timeout <= 0 {
+		// Zero-timeout wait: a poll. Returns WAIT_TIMEOUT immediately; the
+		// zero value still reaches the trace (Figure 7's Vista workloads
+		// are full of them), paired with an immediate expiry.
+		wt := th.waitTimer
+		k.tr.Log(trace.Record{
+			T: k.eng.Now(), Op: trace.OpWait, TimerID: wt.id, Timeout: 0,
+			PID: th.PID, Origin: wt.originID, Flags: wt.flags,
+		})
+		k.tr.Log(trace.Record{
+			T: k.eng.Now(), Op: trace.OpExpire, TimerID: wt.id,
+			PID: th.PID, Origin: wt.originID, Flags: wt.flags,
+		})
+		cb(WaitTimeout)
+		return
+	}
+	w := &wait{th: th, objs: objs, cb: cb, started: k.eng.Now(), timeout: timeout}
+	th.current = w
+	for _, o := range objs {
+		o.waiters = append(o.waiters, w)
+	}
+	if timeout >= Forever {
+		// Infinite waits never touch the timer subsystem.
+		return
+	}
+	// Fast-path insertion of the thread's dedicated KTIMER; traced as
+	// OpWait with the user-supplied timeout (Section 3.3: "a single event
+	// on thread unblock which logs ... the user-supplied timeout parameter,
+	// and a boolean indicating whether the wait was satisfied or timed
+	// out" — we log the arming side too, which subsumes it).
+	wt := th.waitTimer
+	wt.dpc = func() { w.expire(k) }
+	wt.due = k.eng.Now().Add(timeout)
+	k.table.Schedule(&wt.entry, timeToTick(wt.due))
+	wt.entry.Payload = wt
+	k.tr.Log(trace.Record{
+		T: k.eng.Now(), Op: trace.OpWait, TimerID: wt.id, Timeout: int64(timeout),
+		PID: th.PID, Origin: wt.originID, Flags: wt.flags,
+	})
+}
+
+// Sleep is KeDelayExecutionThread / Win32 Sleep: a wait on nothing with a
+// timeout.
+func (th *Thread) Sleep(d sim.Duration, cb func()) {
+	th.WaitFor(d, func(WaitResult) { cb() })
+}

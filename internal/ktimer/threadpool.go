@@ -1,0 +1,183 @@
+package ktimer
+
+import (
+	"container/heap"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// Pool is the NTDLL threadpool timer layer (CreateThreadpoolTimer /
+// SetThreadpoolTimer): a user-level timer ring multiplexed over a single
+// kernel KTIMER (Section 2.2). Each pool belongs to one process; its kernel
+// timer is dynamically allocated, like the real thing.
+//
+// SetThreadpoolTimer's WindowLength parameter allows expiries to be
+// delivered up to that much late so that nearby timers batch into one kernel
+// wakeup — Vista's version of timer coalescing.
+type Pool struct {
+	k      *Kernel
+	pid    int32
+	origin string
+
+	kt      *KTimer
+	timers  tpHeap
+	nextSeq uint64
+
+	originID uint32
+}
+
+// NewPool creates a threadpool timer ring for a process.
+func (k *Kernel) NewPool(pid int32, processName string) *Pool {
+	p := &Pool{k: k, pid: pid, origin: processName + "/threadpool"}
+	p.originID = k.tr.Origin(p.origin)
+	p.kt = k.NewTimer(p.origin, pid, true, nil)
+	p.kt.dpc = p.expireDPC
+	return p
+}
+
+// TPTimer is a threadpool timer (PTP_TIMER).
+type TPTimer struct {
+	pool   *Pool
+	due    sim.Time
+	latest sim.Time // due + window: the latest acceptable delivery
+	period sim.Duration
+	window sim.Duration
+	cb     func()
+	index  int // heap position, -1 when idle
+	seq    uint64
+	id     uint64
+
+	originID uint32
+}
+
+// NewTimer is CreateThreadpoolTimer: allocate an inert timer with its
+// callback.
+func (p *Pool) NewTimer(origin string, cb func()) *TPTimer {
+	p.k.nextID++
+	return &TPTimer{
+		pool: p, cb: cb, index: -1, id: p.k.nextID,
+		originID: p.k.tr.Origin(origin),
+	}
+}
+
+// Set is SetThreadpoolTimer: arm for a relative due time with optional
+// period and coalescing window. Setting an armed timer moves it.
+func (t *TPTimer) Set(due, period, window sim.Duration) {
+	p := t.pool
+	if due < 0 {
+		due = 0
+	}
+	t.due = p.k.eng.Now().Add(due)
+	t.period = period
+	t.window = window
+	t.latest = t.due.Add(window)
+	p.nextSeq++
+	t.seq = p.nextSeq
+	if t.index >= 0 {
+		heap.Fix(&p.timers, t.index)
+	} else {
+		heap.Push(&p.timers, t)
+	}
+	p.k.tr.Log(trace.Record{
+		T: p.k.eng.Now(), Op: trace.OpSet, TimerID: t.id, Timeout: int64(due),
+		PID: p.pid, Origin: t.originID, Flags: trace.FlagUser,
+	})
+	p.rearmKernelTimer()
+}
+
+// Cancel is SetThreadpoolTimer(NULL): disarm.
+func (t *TPTimer) Cancel() bool {
+	p := t.pool
+	active := t.index >= 0
+	if active {
+		heap.Remove(&p.timers, t.index)
+		t.index = -1
+	}
+	p.k.tr.Log(trace.Record{
+		T: p.k.eng.Now(), Op: trace.OpCancel, TimerID: t.id,
+		PID: p.pid, Origin: t.originID, Flags: trace.FlagUser,
+	})
+	if active {
+		p.rearmKernelTimer()
+	}
+	return active
+}
+
+// rearmKernelTimer points the single kernel timer at the pool's coalescing
+// target: the earliest `latest` among pending timers — the longest the ring
+// may wait while still honouring every window.
+func (p *Pool) rearmKernelTimer() {
+	if len(p.timers) == 0 {
+		if p.kt.Pending() {
+			p.k.CancelTimer(p.kt)
+		}
+		return
+	}
+	target := p.timers[0].latest
+	for _, t := range p.timers {
+		if t.latest < target {
+			target = t.latest
+		}
+	}
+	if p.kt.Pending() && p.kt.due == target {
+		return
+	}
+	p.k.SetTimer(p.kt, target, 0, true)
+}
+
+// expireDPC runs in DPC context when the kernel timer fires: deliver every
+// timer whose due time has arrived (all of them owe delivery by now or are
+// within their window), re-arm periodics, then retarget the kernel timer.
+func (p *Pool) expireDPC() {
+	now := p.k.eng.Now()
+	for len(p.timers) > 0 && p.timers[0].due <= now {
+		t := heap.Pop(&p.timers).(*TPTimer)
+		t.index = -1
+		p.k.tr.Log(trace.Record{
+			T: now, Op: trace.OpExpire, TimerID: t.id,
+			PID: p.pid, Origin: t.originID, Flags: trace.FlagUser,
+		})
+		if t.period > 0 {
+			t.due = now.Add(t.period)
+			t.latest = t.due.Add(t.window)
+			p.nextSeq++
+			t.seq = p.nextSeq
+			heap.Push(&p.timers, t)
+		}
+		t.cb()
+	}
+	p.rearmKernelTimer()
+}
+
+// Len reports the number of armed threadpool timers.
+func (p *Pool) Len() int { return len(p.timers) }
+
+type tpHeap []*TPTimer
+
+func (h tpHeap) Len() int { return len(h) }
+func (h tpHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h tpHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *tpHeap) Push(x any) {
+	t := x.(*TPTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *tpHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

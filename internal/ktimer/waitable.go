@@ -1,0 +1,47 @@
+package ktimer
+
+import (
+	"timerstudy/internal/sim"
+)
+
+// Win32 waitable timers (Section 2.2): "the {Create, Set, Cancel}-
+// WaitableTimer APIs, which expose the NT API interface largely
+// unmodified". A waitable timer is a KTIMER surfaced as a synchronization
+// object: threads wait on it, an optional completion routine (APC) runs on
+// expiry, and the object can be manual-reset (stays signaled until re-set)
+// or synchronization/auto-reset (one waiter consumes the signal).
+type WaitableTimer struct {
+	kt          *KTimer
+	manualReset bool
+	k           *Kernel
+}
+
+// CreateWaitableTimer allocates a waitable timer for a process.
+func (k *Kernel) CreateWaitableTimer(pid int32, processName string, manualReset bool) *WaitableTimer {
+	w := &WaitableTimer{
+		kt:          k.NewTimer(processName+"/waitable-timer", pid, true, nil),
+		manualReset: manualReset,
+		k:           k,
+	}
+	w.kt.Object.autoReset = !manualReset
+	return w
+}
+
+// Set is SetWaitableTimer: arm for a relative due time with an optional
+// period and completion routine. Setting clears the signaled state.
+func (w *WaitableTimer) Set(due sim.Duration, period sim.Duration, apc func()) {
+	w.kt.SetDPC(apc)
+	w.k.SetTimerIn(w.kt, due, period)
+}
+
+// Cancel is CancelWaitableTimer. The signaled state is left alone, as in
+// Win32.
+func (w *WaitableTimer) Cancel() bool {
+	return w.k.CancelTimer(w.kt)
+}
+
+// Object exposes the dispatcher object for WaitFor.
+func (w *WaitableTimer) Object() *Object { return &w.kt.Object }
+
+// Signaled reports the timer's object state.
+func (w *WaitableTimer) Signaled() bool { return w.kt.Signaled() }

@@ -1,0 +1,120 @@
+package ktimer
+
+import (
+	"testing"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+func TestWaitableTimerAPCAndWait(t *testing.T) {
+	eng, _, k := newTestKernel()
+	w := k.CreateWaitableTimer(100, "app.exe", true)
+	apcRan := false
+	w.Set(50*sim.Millisecond, 0, func() { apcRan = true })
+	th := k.NewThread(100, "app.exe")
+	var result WaitResult = -1
+	th.WaitFor(5*sim.Second, func(r WaitResult) { result = r }, w.Object())
+	eng.Run(sim.Time(sim.Second))
+	if !apcRan {
+		t.Fatal("completion routine did not run")
+	}
+	if result != WaitSatisfied {
+		t.Fatalf("wait result = %v", result)
+	}
+	// Manual reset: stays signaled; a later wait completes inline.
+	if !w.Signaled() {
+		t.Fatal("manual-reset timer not signaled")
+	}
+	inline := false
+	th.WaitFor(sim.Second, func(r WaitResult) { inline = r == WaitSatisfied }, w.Object())
+	if !inline {
+		t.Fatal("second wait on a signaled manual-reset timer blocked")
+	}
+}
+
+func TestWaitableTimerAutoResetReleasesOneWaiter(t *testing.T) {
+	eng, _, k := newTestKernel()
+	w := k.CreateWaitableTimer(100, "app.exe", false)
+	w.Set(50*sim.Millisecond, 0, nil)
+	results := map[string]WaitResult{}
+	for _, name := range []string{"t1", "t2"} {
+		name := name
+		th := k.NewThread(100, "app.exe!"+name)
+		th.WaitFor(sim.Second, func(r WaitResult) { results[name] = r }, w.Object())
+	}
+	eng.Run(sim.Time(5 * sim.Second))
+	satisfied, timedOut := 0, 0
+	for _, r := range results {
+		switch r {
+		case WaitSatisfied:
+			satisfied++
+		case WaitTimeout:
+			timedOut++
+		}
+	}
+	if satisfied != 1 || timedOut != 1 {
+		t.Fatalf("auto-reset released %d waiters (timeouts %d)", satisfied, timedOut)
+	}
+	if w.Signaled() {
+		t.Fatal("auto-reset timer stayed signaled after releasing a waiter")
+	}
+}
+
+func TestWaitableTimerPeriodic(t *testing.T) {
+	eng, _, k := newTestKernel()
+	w := k.CreateWaitableTimer(100, "app.exe", false)
+	fires := 0
+	w.Set(100*sim.Millisecond, 100*sim.Millisecond, func() { fires++ })
+	eng.Run(sim.Time(sim.Second))
+	if fires < 8 {
+		t.Fatalf("fires = %d", fires)
+	}
+	if !w.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	n := fires
+	eng.Run(sim.Time(2 * sim.Second))
+	if fires != n {
+		t.Fatal("fired after cancel")
+	}
+}
+
+func TestWaitableTimerCancelLeavesSignalState(t *testing.T) {
+	eng, tr, k := newTestKernel()
+	w := k.CreateWaitableTimer(100, "app.exe", true)
+	w.Set(50*sim.Millisecond, 0, nil)
+	eng.Run(sim.Time(sim.Second))
+	if !w.Signaled() {
+		t.Fatal("not signaled after expiry")
+	}
+	w.Set(sim.Second, 0, nil) // re-set clears signaled
+	if w.Signaled() {
+		t.Fatal("set did not clear signal")
+	}
+	w.Cancel()
+	if w.Signaled() {
+		t.Fatal("cancel changed signal state")
+	}
+	if got := tr.Counters().ByOp[trace.OpCancel]; got != 1 {
+		t.Fatalf("cancel records = %d", got)
+	}
+}
+
+func TestAutoResetSignalWithNoWaitersLatches(t *testing.T) {
+	_, _, k := newTestKernel()
+	obj := NewAutoResetEvent()
+	k.Signal(obj)
+	if !obj.Signaled() {
+		t.Fatal("signal with no waiters must latch")
+	}
+	th := k.NewThread(1, "a")
+	got := false
+	th.WaitFor(sim.Second, func(r WaitResult) { got = r == WaitSatisfied }, obj)
+	if !got {
+		t.Fatal("latched signal not consumed inline")
+	}
+	if obj.Signaled() {
+		t.Fatal("auto-reset not cleared by the consuming wait")
+	}
+}

@@ -1,0 +1,140 @@
+package ktimer
+
+import (
+	"timerstudy/internal/sim"
+)
+
+// MessageQueue models a GUI thread's message queue and dispatch loop, the
+// layer behind Win32 SetTimer/KillTimer (Section 2.2): kernel timer expiry
+// posts a WM_TIMER message, which the message loop delivers some time later.
+// WM_TIMER is generated lazily — a timer ID with a message already pending
+// posts no duplicate, which is why busy GUI threads see coalesced ticks.
+type MessageQueue struct {
+	k      *Kernel
+	pid    int32
+	name   string
+	timers map[int]*gui
+	// DispatchLatency bounds the simulated delay between posting a message
+	// and the loop dispatching it; actual delays are uniform in
+	// (0, DispatchLatency]. Default 2 ms.
+	DispatchLatency sim.Duration
+	// Dispatched counts delivered WM_TIMER messages; Coalesced counts
+	// expiries swallowed because a message was already pending.
+	Dispatched uint64
+	Coalesced  uint64
+}
+
+type gui struct {
+	id      int
+	kt      *KTimer
+	elapse  sim.Duration
+	proc    func()
+	posted  bool
+	dead    bool
+	queue   *MessageQueue
+	originS string
+}
+
+// NewMessageQueue creates the GUI timer machinery for a process's UI thread.
+func (k *Kernel) NewMessageQueue(pid int32, processName string) *MessageQueue {
+	return &MessageQueue{
+		k: k, pid: pid, name: processName,
+		timers:          make(map[int]*gui),
+		DispatchLatency: 2 * sim.Millisecond,
+	}
+}
+
+// SetTimer is Win32 SetTimer: a *periodic* USER timer firing every elapse
+// until killed. Reusing an ID replaces the existing timer, as in Win32.
+func (q *MessageQueue) SetTimer(id int, elapse sim.Duration, proc func()) {
+	if old, ok := q.timers[id]; ok {
+		old.dead = true
+		q.k.CancelTimer(old.kt)
+	}
+	// USER clamps tiny periods (real minimum is USER_TIMER_MINIMUM=10 ms;
+	// Vista-era apps routinely pass 1 ms and get clock-granularity ticks,
+	// so we clamp only to >0).
+	if elapse <= 0 {
+		elapse = sim.Millisecond
+	}
+	g := &gui{id: id, elapse: elapse, proc: proc, queue: q,
+		originS: q.name + "/wm_timer"}
+	g.kt = q.k.NewTimer(g.originS, q.pid, true, nil)
+	g.kt.dpc = func() { q.post(g) }
+	q.k.SetTimerIn(g.kt, elapse, elapse)
+	q.timers[id] = g
+}
+
+// KillTimer cancels a GUI timer. Unknown IDs return false.
+func (q *MessageQueue) KillTimer(id int) bool {
+	g, ok := q.timers[id]
+	if !ok {
+		return false
+	}
+	g.dead = true
+	delete(q.timers, id)
+	q.k.CancelTimer(g.kt)
+	return true
+}
+
+// post inserts a WM_TIMER message unless one is already pending for this
+// timer ID.
+func (q *MessageQueue) post(g *gui) {
+	if g.dead {
+		return
+	}
+	if g.posted {
+		q.Coalesced++
+		return
+	}
+	g.posted = true
+	delay := sim.Duration(q.k.eng.Rand().Int63n(int64(q.DispatchLatency))) + 1
+	q.k.eng.After(delay, q.name+":wm_timer", func() {
+		g.posted = false
+		if g.dead {
+			return
+		}
+		q.Dispatched++
+		g.proc()
+	})
+}
+
+// AfdSelect is the Winsock2 select path (Section 2.2): "implemented as a
+// blocking ioctl on the afd.sys device driver, which allocates a fresh
+// KTIMER object and requests a DPC callback at the appropriate expiry time
+// to complete the ioctl". The returned cancel function completes the select
+// early (socket activity), canceling the timer.
+func (k *Kernel) AfdSelect(pid int32, processName string, timeout sim.Duration, cb func(timedOut bool)) (cancel func()) {
+	t := k.NewTimer(processName+"/afd-select", pid, true, nil)
+	done := false
+	t.dpc = func() {
+		if done {
+			return
+		}
+		done = true
+		cb(true)
+	}
+	k.SetTimerIn(t, timeout, 0)
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		k.CancelTimer(t)
+		cb(false)
+	}
+}
+
+// NtSetTimer is the NT API timer path (NtCreateTimer/NtSetTimer): like
+// KeSetTimer but delivering via APC. For trace purposes the difference is
+// only the origin; the APC is modelled as a direct callback. A fresh kernel
+// object backs every NT timer handle.
+func (k *Kernel) NtSetTimer(pid int32, origin string, timeout sim.Duration, apc func()) *KTimer {
+	t := k.NewTimer(origin, pid, true, nil)
+	t.dpc = apc
+	k.SetTimerIn(t, timeout, 0)
+	return t
+}
+
+// NtCancelTimer cancels an NT timer handle.
+func (k *Kernel) NtCancelTimer(t *KTimer) bool { return k.CancelTimer(t) }

@@ -1,0 +1,86 @@
+package layers
+
+import (
+	"timerstudy/internal/core"
+	"timerstudy/internal/netsim"
+	"timerstudy/internal/sim"
+)
+
+// coreFacilityAdapter lets the client's TCP-lite stack arm its protocol
+// timers on the redesigned core facility — the clean-slate stacking the
+// paper's Section 5 sketches.
+type coreFacilityAdapter struct {
+	f *core.Facility
+}
+
+type coreHandle struct {
+	f      *core.Facility
+	origin string
+	fn     func()
+	entry  *core.Entry
+}
+
+// NewTimer implements netsim.Facility.
+func (a *coreFacilityAdapter) NewTimer(origin string, fn func()) netsim.Handle {
+	return &coreHandle{f: a.f, origin: origin, fn: fn}
+}
+
+// Now implements netsim.Facility.
+func (a *coreFacilityAdapter) Now() sim.Time { return a.f.Now() }
+
+func (h *coreHandle) Arm(d sim.Duration) {
+	if h.entry.Pending() {
+		h.f.Cancel(h.entry)
+	}
+	h.entry = h.f.Arm(h.origin, core.Exact(d), h.fn)
+}
+
+func (h *coreHandle) Stop() bool {
+	return h.f.Cancel(h.entry)
+}
+
+func (h *coreHandle) Pending() bool { return h.entry.Pending() }
+
+func (h *coreHandle) Release() {
+	if h.entry.Pending() {
+		h.f.Cancel(h.entry)
+	}
+}
+
+// nullFacility arms server-side timers directly on the engine: the remote
+// machines are not under study.
+type nullFacility struct {
+	eng *sim.Engine
+}
+
+type nullHandle struct {
+	eng *sim.Engine
+	fn  func()
+	ev  *sim.Event
+}
+
+// NewTimer implements netsim.Facility.
+func (f *nullFacility) NewTimer(origin string, fn func()) netsim.Handle {
+	return &nullHandle{eng: f.eng, fn: fn}
+}
+
+// Now implements netsim.Facility.
+func (f *nullFacility) Now() sim.Time { return f.eng.Now() }
+
+func (h *nullHandle) Arm(d sim.Duration) {
+	if h.ev != nil && h.ev.Pending() {
+		h.eng.Cancel(h.ev)
+	}
+	h.ev = h.eng.After(d, "null-timer", h.fn)
+}
+
+func (h *nullHandle) Stop() bool {
+	if h.ev == nil {
+		return false
+	}
+	return h.eng.Cancel(h.ev)
+}
+
+func (h *nullHandle) Pending() bool { return h.ev != nil && h.ev.Pending() }
+
+func (h *nullHandle) Release() { h.Stop() }

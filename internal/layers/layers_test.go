@@ -1,0 +1,121 @@
+package layers
+
+import (
+	"testing"
+
+	"timerstudy/internal/sim"
+)
+
+func TestHealthyOpenIsFast(t *testing.T) {
+	for _, p := range []Policy{Static, Budgeted, Adaptive} {
+		w := NewWorld(1)
+		if p == Adaptive {
+			w.Warm(5)
+		}
+		o := w.OpenShare(p, FileServer, 5*sim.Second)
+		if !o.OK {
+			t.Fatalf("%v: %v", p, o)
+		}
+		// ~130 ms RTT: resolution + connect + negotiate ≈ 300-500 ms.
+		if o.Elapsed > sim.Second {
+			t.Errorf("%v: healthy open took %v", p, o.Elapsed)
+		}
+	}
+}
+
+func TestStaticDeadHostTakesOverAMinute(t *testing.T) {
+	// The paper's headline pathology: the server answers in ~130 ms when
+	// healthy, yet reporting its death takes over a minute.
+	w := NewWorld(1)
+	o := w.OpenShare(Static, DeadHost, 0)
+	if o.OK {
+		t.Fatalf("dead host opened: %v", o)
+	}
+	if o.Elapsed < sim.Minute {
+		t.Fatalf("static policy reported failure after only %v; paper: over a minute", o.Elapsed)
+	}
+	if o.Elapsed > 3*sim.Minute {
+		t.Fatalf("implausibly slow: %v", o.Elapsed)
+	}
+}
+
+func TestStaticBadNameSlowerThanAnswer(t *testing.T) {
+	// A typo: WINS and NetBT burn their full retry schedules even though
+	// DNS said NXDOMAIN within milliseconds.
+	w := NewWorld(1)
+	o := w.OpenShare(Static, BadName, 0)
+	if o.OK {
+		t.Fatalf("bad name resolved: %v", o)
+	}
+	if o.Elapsed < 4*sim.Second {
+		t.Fatalf("typo reported after %v; static schedules should take ≥4.5 s", o.Elapsed)
+	}
+	if o.Detail != "name resolution failed" {
+		t.Fatalf("detail = %q", o.Detail)
+	}
+}
+
+func TestBudgetedDeadlineHonored(t *testing.T) {
+	w := NewWorld(1)
+	o := w.OpenShare(Budgeted, DeadHost, 5*sim.Second)
+	if o.OK {
+		t.Fatal("dead host opened")
+	}
+	if o.Elapsed > 5*sim.Second+100*sim.Millisecond {
+		t.Fatalf("budgeted policy overshot the 5 s deadline: %v", o.Elapsed)
+	}
+}
+
+func TestBudgetedHealthyUnaffectedByDeadline(t *testing.T) {
+	w := NewWorld(1)
+	o := w.OpenShare(Budgeted, FileServer, 5*sim.Second)
+	if !o.OK || o.Elapsed > sim.Second {
+		t.Fatalf("budgeted healthy open: %v", o)
+	}
+}
+
+func TestAdaptiveDetectsDeathOrdersOfMagnitudeFaster(t *testing.T) {
+	wStatic := NewWorld(1)
+	static := wStatic.OpenShare(Static, DeadHost, 0)
+
+	wAdaptive := NewWorld(1)
+	wAdaptive.Warm(10)
+	adaptive := wAdaptive.OpenShare(Adaptive, DeadHost, 0)
+
+	if adaptive.OK || static.OK {
+		t.Fatal("dead host opened")
+	}
+	if adaptive.Elapsed*10 > static.Elapsed {
+		t.Fatalf("adaptive (%v) not ≥10× faster than static (%v)", adaptive.Elapsed, static.Elapsed)
+	}
+	t.Logf("failure detection: static=%v adaptive=%v (%.0f× faster)",
+		static.Elapsed, adaptive.Elapsed, float64(static.Elapsed)/float64(adaptive.Elapsed))
+}
+
+func TestAdaptiveBadNameFast(t *testing.T) {
+	w := NewWorld(1)
+	w.Warm(10)
+	o := w.OpenShare(Adaptive, BadName, 0)
+	if o.OK {
+		t.Fatal("bad name resolved")
+	}
+	if o.Elapsed > sim.Second {
+		t.Fatalf("adaptive typo detection took %v", o.Elapsed)
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	a := NewWorld(9)
+	b := NewWorld(9)
+	oa := a.OpenShare(Static, DeadHost, 0)
+	ob := b.OpenShare(Static, DeadHost, 0)
+	if oa != ob {
+		t.Fatalf("outcomes diverged: %v vs %v", oa, ob)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Static.String() != "static" || Budgeted.String() != "budgeted" || Adaptive.String() != "adaptive" {
+		t.Fatal("policy names broken")
+	}
+}

@@ -1,0 +1,335 @@
+package layers
+
+import (
+	"timerstudy/internal/core"
+	"timerstudy/internal/netsim"
+	"timerstudy/internal/sim"
+)
+
+// OpenShare performs the user action "type a server name into the file
+// browser" under the given policy and runs the simulation until success or
+// error is reported. userDeadline only applies to the Budgeted policy.
+func (w *World) OpenShare(policy Policy, name string, userDeadline sim.Duration) Outcome {
+	start := w.Eng.Now()
+	var out *Outcome
+	done := func(ok bool, detail string) {
+		if out != nil {
+			return
+		}
+		out = &Outcome{OK: ok, Elapsed: w.Eng.Now().Sub(start), Detail: detail}
+	}
+
+	var parent *core.Entry
+	if policy == Budgeted {
+		// The single user-level deadline every nested timeout is clipped
+		// to (Section 5.2's provenance-aware composition).
+		parent = w.Fac.Arm("user-deadline", core.Exact(userDeadline), func() {
+			done(false, "user deadline")
+		})
+	}
+
+	w.resolve(policy, parent, name, func(ok bool, addr string) {
+		if out != nil {
+			return
+		}
+		if !ok {
+			done(false, "name resolution failed")
+			return
+		}
+		w.connect(policy, parent, addr, func(ok bool, detail string) {
+			done(ok, detail)
+		})
+	})
+
+	// Run until a verdict lands (bounded: nothing in the stack waits more
+	// than the TCP give-up of ~2 minutes).
+	for out == nil && w.Eng.Pending() > 0 {
+		w.Eng.Step()
+	}
+	if out == nil {
+		out = &Outcome{OK: false, Elapsed: w.Eng.Now().Sub(start), Detail: "simulation drained"}
+	}
+	if parent != nil && parent.Pending() {
+		w.Fac.Cancel(parent)
+	}
+	return *out
+}
+
+// Warm trains the adaptive estimators with successful opens so the Adaptive
+// policy has a latency history, as a deployed system would.
+func (w *World) Warm(n int) {
+	for i := 0; i < n; i++ {
+		o := w.OpenShare(Adaptive, FileServer, 0)
+		if !o.OK {
+			panic("layers: warm-up open failed: " + o.String())
+		}
+		// Space the attempts out.
+		w.Eng.Run(w.Eng.Now().Add(sim.Second))
+	}
+}
+
+// --- name resolution ---
+
+type resolveState struct {
+	done      bool
+	remaining int
+	cb        func(bool, string)
+}
+
+func (r *resolveState) succeed(addr string) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.cb(true, addr)
+}
+
+func (r *resolveState) providerFailed() {
+	r.remaining--
+	if !r.done && r.remaining == 0 {
+		r.done = true
+		r.cb(false, "")
+	}
+}
+
+// resolve runs WINS, DNS and NetBT in parallel, each with its own retry
+// schedule, succeeding on the first positive answer and failing when all
+// three conclude.
+func (w *World) resolve(policy Policy, parent *core.Entry, name string, cb func(ok bool, addr string)) {
+	st := &resolveState{remaining: 3, cb: cb}
+	w.resolveProvider(policy, parent, st, name, "wins", winsTries, func(i int) sim.Duration { return winsTryTimeout })
+	w.resolveProvider(policy, parent, st, name, "dns", dnsTries, func(i int) sim.Duration { return dnsBaseTimeout << uint(i) })
+	w.resolveProvider(policy, parent, st, name, "netbt", netbtTries, func(i int) sim.Duration { return netbtTryTimeout })
+}
+
+func (w *World) resolveProvider(policy Policy, parent *core.Entry, st *resolveState, name, via string, tries int, timeoutOf func(int) sim.Duration) {
+	var try func(i int)
+	try = func(i int) {
+		if st.done {
+			return
+		}
+		if i >= tries {
+			st.providerFailed()
+			return
+		}
+		id := w.id()
+		sentAt := w.Eng.Now()
+		var guard *core.Guard
+		answered := false
+		w.lookups[id] = func(resp lookupResp) {
+			answered = true
+			if guard != nil {
+				guard.Done()
+			}
+			if policy == Adaptive {
+				w.adaptResolve.ObserveSuccess(w.Eng.Now().Sub(sentAt))
+			}
+			if resp.found {
+				st.succeed(resp.addr)
+			} else {
+				// Definitive negative (DNS NXDOMAIN).
+				st.providerFailed()
+			}
+		}
+		onTimeout := func() {
+			if answered || st.done {
+				return
+			}
+			delete(w.lookups, id)
+			try(i + 1)
+		}
+		switch policy {
+		case Static:
+			guard = w.Fac.NewGuard(nil, via+"-timeout", core.Exact(timeoutOf(i)), onTimeout)
+		case Budgeted:
+			guard = w.Fac.NewGuard(parent, via+"-timeout", core.Exact(timeoutOf(i)), onTimeout)
+		case Adaptive:
+			guard = w.adaptResolve.Arm(onTimeout)
+		}
+		w.Net.Send(netsim.Packet{From: ClientHost, To: "nameserver", Size: 80,
+			Payload: lookupReq{name: name, id: id, via: via}})
+	}
+	try(0)
+}
+
+// --- protocol connection ---
+
+type connectState struct {
+	done      bool
+	remaining int
+	cb        func(bool, string)
+}
+
+func (c *connectState) succeed(detail string) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.cb(true, detail)
+}
+
+func (c *connectState) protocolFailed() {
+	c.remaining--
+	if !c.done && c.remaining == 0 {
+		c.done = true
+		c.cb(false, "all protocols failed")
+	}
+}
+
+// connect races SMB, NFS-over-SunRPC and WebDAV against the resolved
+// address, as the Windows file browser does.
+func (w *World) connect(policy Policy, parent *core.Entry, addr string, cb func(ok bool, detail string)) {
+	st := &connectState{remaining: 3, cb: cb}
+	w.trySMB(policy, parent, st, addr)
+	w.tryNFS(policy, parent, st, addr)
+	w.tryWebDAV(policy, parent, st, addr)
+}
+
+// trySMB: TCP connect to 445, then a negotiate round trip. Under the Static
+// policy the connect has *no* application guard — it leans on TCP's own
+// exponential SYN backoff, which takes ~93 s to give up. That is the layer
+// that makes the dead-host case take over a minute.
+func (w *World) trySMB(policy Policy, parent *core.Entry, st *connectState, addr string) {
+	var guard *core.Guard
+	decided := false
+	fail := func() {
+		if decided || st.done {
+			return
+		}
+		decided = true
+		st.protocolFailed()
+	}
+	switch policy {
+	case Static:
+		// No app-level connect guard: TCP decides.
+	case Budgeted:
+		guard = w.Fac.NewGuard(parent, "smb-connect", core.Exact(smbNegotiate), fail)
+	case Adaptive:
+		guard = w.adaptConnect.Arm(fail)
+	}
+	started := w.Eng.Now()
+	w.Client.Connect(addr, 445, func(c *netsim.Conn, err error) {
+		if decided || st.done {
+			if c != nil {
+				c.Close()
+			}
+			return
+		}
+		if err != nil {
+			if guard != nil {
+				guard.Done()
+			}
+			fail()
+			return
+		}
+		c.OnMessage = func(c *netsim.Conn, size int, payload any) {
+			if guard != nil {
+				guard.Done()
+			}
+			if policy == Adaptive {
+				w.adaptConnect.ObserveSuccess(w.Eng.Now().Sub(started))
+			}
+			decided = true
+			c.Close()
+			st.succeed("smb")
+		}
+		c.Send(300, "smb-negotiate", nil)
+	})
+}
+
+// tryNFS: SunRPC over datagrams with the classic 7-retry, doubling-from-
+// 500 ms schedule (63.5 s total under Static).
+func (w *World) tryNFS(policy Policy, parent *core.Entry, st *connectState, addr string) {
+	// With per-try timeouts at the 99 % confidence quantile, three tries
+	// already push the false-positive rate to ~10⁻⁶; the static schedule's
+	// seven retries exist to compensate for its arbitrary base value.
+	tries := rpcTries
+	if policy == Adaptive {
+		tries = 3
+	}
+	var try func(i int)
+	try = func(i int) {
+		if st.done {
+			return
+		}
+		if i >= tries {
+			st.protocolFailed()
+			return
+		}
+		xid := w.id()
+		sentAt := w.Eng.Now()
+		var guard *core.Guard
+		w.rpcs[xid] = func() {
+			if guard != nil {
+				guard.Done()
+			}
+			if st.done {
+				return
+			}
+			if policy == Adaptive {
+				w.adaptConnect.ObserveSuccess(w.Eng.Now().Sub(sentAt))
+			}
+			st.succeed("nfs")
+		}
+		onTimeout := func() {
+			delete(w.rpcs, xid)
+			try(i + 1)
+		}
+		switch policy {
+		case Static:
+			guard = w.Fac.NewGuard(nil, "sunrpc", core.Exact(rpcBaseTimeout<<uint(i)), onTimeout)
+		case Budgeted:
+			guard = w.Fac.NewGuard(parent, "sunrpc", core.Exact(rpcBaseTimeout<<uint(i)), onTimeout)
+		case Adaptive:
+			guard = w.adaptConnect.ArmRetry(uint(i), onTimeout)
+		}
+		w.Net.Send(netsim.Packet{From: ClientHost, To: addr, Size: 150,
+			Payload: rpcReq{xid: xid, prog: "mount"}})
+	}
+	try(0)
+}
+
+// tryWebDAV: HTTP OPTIONS guarded by the stack's 30 s default under Static.
+func (w *World) tryWebDAV(policy Policy, parent *core.Entry, st *connectState, addr string) {
+	decided := false
+	fail := func() {
+		if decided || st.done {
+			return
+		}
+		decided = true
+		st.protocolFailed()
+	}
+	var guard *core.Guard
+	started := w.Eng.Now()
+	switch policy {
+	case Static:
+		guard = w.Fac.NewGuard(nil, "webdav", core.Exact(webdavTimeout), fail)
+	case Budgeted:
+		guard = w.Fac.NewGuard(parent, "webdav", core.Exact(webdavTimeout), fail)
+	case Adaptive:
+		guard = w.adaptConnect.Arm(fail)
+	}
+	w.Client.Connect(addr, 80, func(c *netsim.Conn, err error) {
+		if decided || st.done {
+			if c != nil {
+				c.Close()
+			}
+			return
+		}
+		if err != nil {
+			guard.Done()
+			fail()
+			return
+		}
+		c.OnMessage = func(c *netsim.Conn, size int, payload any) {
+			guard.Done()
+			if policy == Adaptive {
+				w.adaptConnect.ObserveSuccess(w.Eng.Now().Sub(started))
+			}
+			decided = true
+			c.Close()
+			st.succeed("webdav")
+		}
+		c.Send(200, "webdav-options", nil)
+	})
+}

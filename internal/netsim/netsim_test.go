@@ -1,0 +1,569 @@
+package netsim
+
+import (
+	"testing"
+
+	"timerstudy/internal/jiffies"
+	"timerstudy/internal/ktimer"
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+type fixture struct {
+	eng *sim.Engine
+	tr  *trace.Buffer
+	net *Network
+}
+
+func newFixture(seed int64) *fixture {
+	eng := sim.NewEngine(seed)
+	return &fixture{eng: eng, tr: trace.NewBuffer(1 << 20), net: NewNetwork(eng)}
+}
+
+func (f *fixture) linuxStack(host string) *Stack {
+	base := jiffies.NewBase(f.eng, f.tr)
+	s := NewStack(f.net, host, &LinuxFacility{Base: base})
+	s.KeepaliveEnabled = true
+	return s
+}
+
+func (f *fixture) vistaStack(host string) *Stack {
+	k := ktimer.NewKernel(f.eng, f.tr)
+	return NewStack(f.net, host, &VistaFacility{Kernel: k})
+}
+
+func TestRTOEstimatorJacobson(t *testing.T) {
+	var e RTOEstimator
+	if e.RTO() != InitialRTO {
+		t.Fatalf("initial RTO = %v", e.RTO())
+	}
+	e.Observe(100 * sim.Millisecond)
+	// First sample: srtt=100ms, rttvar=50ms → rto=300ms.
+	if e.RTO() != 300*sim.Millisecond {
+		t.Fatalf("RTO after first sample = %v", e.RTO())
+	}
+	// Converging on a steady 100 ms RTT drives rttvar down; RTO clamps at
+	// the 200 ms minimum.
+	for i := 0; i < 100; i++ {
+		e.Observe(100 * sim.Millisecond)
+	}
+	if e.RTO() != MinRTO {
+		t.Fatalf("steady-state RTO = %v, want clamp at %v", e.RTO(), MinRTO)
+	}
+	// A latency spike inflates variance and the RTO follows.
+	e.Observe(2 * sim.Second)
+	if e.RTO() <= MinRTO {
+		t.Fatal("RTO did not react to a spike")
+	}
+}
+
+func TestRTOEstimatorClampsMax(t *testing.T) {
+	var e RTOEstimator
+	for i := 0; i < 5; i++ {
+		e.Observe(200 * sim.Second)
+	}
+	if e.RTO() != MaxRTO {
+		t.Fatalf("RTO = %v, want clamp at %v", e.RTO(), MaxRTO)
+	}
+}
+
+func TestConnectAndExchange(t *testing.T) {
+	f := newFixture(1)
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	var gotReq, gotResp string
+	srv.Listen(80, func(c *Conn) {
+		c.OnMessage = func(c *Conn, size int, payload any) {
+			gotReq = payload.(string)
+			c.Send(1200, "response", nil)
+		}
+	})
+	cli.Connect("server", 80, func(c *Conn, err error) {
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		c.OnMessage = func(_ *Conn, size int, payload any) {
+			gotResp = payload.(string)
+		}
+		c.Send(300, "request", nil)
+	})
+	f.eng.Run(sim.Time(5 * sim.Second))
+	if gotReq != "request" || gotResp != "response" {
+		t.Fatalf("req=%q resp=%q", gotReq, gotResp)
+	}
+}
+
+func TestConnectToUnreachableHostTimesOut(t *testing.T) {
+	f := newFixture(1)
+	cli := f.linuxStack("client")
+	// "ghost" is not attached: ARP solicits all die.
+	var gotErr error
+	done := false
+	cli.Connect("ghost", 80, func(c *Conn, err error) { gotErr, done = err, true })
+	f.eng.Run(sim.Time(sim.Minute))
+	if !done || gotErr == nil {
+		t.Fatalf("err = %v done = %v", gotErr, done)
+	}
+	// ARP gives up after 3 solicits × 1 s.
+	if f.eng.Now() > sim.Time(sim.Minute) {
+		t.Fatal("took too long")
+	}
+}
+
+func TestConnectRefusedBacksOffExponentially(t *testing.T) {
+	// Host attached (answers ARP) but nothing listens: SYNs vanish and the
+	// client retries on the 3 s initial timeout, doubling — the layering
+	// pathology of Section 2.2.2.
+	f := newFixture(1)
+	_ = f.linuxStack("server") // no listener
+	cli := f.linuxStack("client")
+	var doneAt sim.Time
+	var gotErr error
+	cli.Connect("server", 80, func(c *Conn, err error) { gotErr, doneAt = err, f.eng.Now() })
+	f.eng.Run(sim.Time(5 * sim.Minute))
+	if gotErr != ErrTimeout {
+		t.Fatalf("err = %v", gotErr)
+	}
+	// 3+6+12+24+48 s of backoff ≈ 93 s before giving up after the 5th
+	// retry — the classic tcp_syn_retries=5 schedule.
+	want := sim.Time(93 * sim.Second)
+	if doneAt < want-sim.Time(2*sim.Second) || doneAt > want+sim.Time(10*sim.Second) {
+		t.Fatalf("gave up at %v, want ≈%v", doneAt, want)
+	}
+}
+
+func TestRetransmissionRecoversFromLoss(t *testing.T) {
+	f := newFixture(3)
+	f.net.SetDefaultPath(PathConfig{Latency: sim.Millisecond, Jitter: sim.Millisecond, Loss: 0.2})
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	delivered := 0
+	srv.Listen(80, func(c *Conn) {
+		c.OnMessage = func(c *Conn, size int, payload any) { delivered++ }
+	})
+	sent := 0
+	cli.Connect("server", 80, func(c *Conn, err error) {
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		var next func(error)
+		next = func(error) {
+			if sent < 20 {
+				sent++
+				c.Send(1000, sent, next)
+			}
+		}
+		next(nil)
+	})
+	f.eng.Run(sim.Time(10 * sim.Minute))
+	if delivered != 20 {
+		t.Fatalf("delivered %d/20 (sent=%d)", delivered, sent)
+	}
+}
+
+func TestKarnNoSampleFromRetransmit(t *testing.T) {
+	f := newFixture(1)
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	srv.Listen(80, func(c *Conn) {
+		c.OnMessage = func(c *Conn, size int, payload any) {}
+	})
+	var conn *Conn
+	cli.Connect("server", 80, func(c *Conn, err error) { conn = c })
+	f.eng.Run(sim.Time(sim.Second))
+	if conn == nil {
+		t.Fatal("no connection")
+	}
+	srttBefore := conn.Estimator().SRTT()
+	// Make the link black-hole outbound long enough to force retransmits,
+	// then restore.
+	f.net.SetPath("client", "server", PathConfig{Latency: sim.Millisecond, Loss: 1})
+	conn.Send(100, "x", nil)
+	f.eng.Run(f.eng.Now().Add(sim.Second))
+	f.net.SetPath("client", "server", PathConfig{Latency: sim.Millisecond})
+	f.eng.Run(f.eng.Now().Add(10 * sim.Second))
+	// The message was retransmitted; Karn's rule forbids sampling it, and
+	// one handshake sample must remain the only contribution.
+	if got := conn.Estimator().SRTT(); got != srttBefore {
+		t.Fatalf("srtt changed on a retransmitted sample: %v → %v", srttBefore, got)
+	}
+}
+
+func TestDelayedAckTimerPattern(t *testing.T) {
+	// A one-way message stream with a silent receiver must show 40 ms
+	// delack sets on the receiver side.
+	f := newFixture(1)
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	srv.Listen(80, func(c *Conn) { c.OnMessage = func(*Conn, int, any) {} })
+	cli.Connect("server", 80, func(c *Conn, err error) {
+		c.Send(100, "one", nil)
+	})
+	f.eng.Run(sim.Time(2 * sim.Second))
+	found := false
+	for _, r := range f.tr.Records() {
+		if r.Op == trace.OpSet && f.tr.OriginName(r.Origin) == "kernel/tcp:delack" {
+			found = true
+			if r.Timeout < int64(DelayedAckTimeout) || r.Timeout > int64(DelayedAckTimeout+4*sim.Millisecond) {
+				t.Fatalf("delack timeout recorded as %d", r.Timeout)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no delack set in trace")
+	}
+}
+
+func TestKeepaliveArmedOnLinuxOnly(t *testing.T) {
+	run := func(linux bool) bool {
+		f := newFixture(1)
+		var srv, cli *Stack
+		if linux {
+			srv, cli = f.linuxStack("server"), f.linuxStack("client")
+		} else {
+			srv, cli = f.vistaStack("server"), f.vistaStack("client")
+		}
+		srv.Listen(80, func(c *Conn) {})
+		cli.Connect("server", 80, func(c *Conn, err error) {})
+		f.eng.Run(sim.Time(2 * sim.Second))
+		for _, r := range f.tr.Records() {
+			// Jiffy rounding may push the recorded value a hair past 7200 s.
+			if r.Op == trace.OpSet && r.Timeout >= int64(KeepaliveIdle) &&
+				r.Timeout < int64(KeepaliveIdle+8*sim.Millisecond) {
+				return true
+			}
+		}
+		return false
+	}
+	if !run(true) {
+		t.Fatal("Linux trace missing the 7200 s keepalive")
+	}
+	if run(false) {
+		t.Fatal("Vista trace contains the 7200 s keepalive (paper: it should not)")
+	}
+}
+
+func TestCloseCancelsConnectionTimers(t *testing.T) {
+	f := newFixture(1)
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	srv.Listen(80, func(c *Conn) {})
+	var conn *Conn
+	cli.Connect("server", 80, func(c *Conn, err error) { conn = c })
+	f.eng.Run(sim.Time(sim.Second))
+	if conn == nil || !conn.Established() {
+		t.Fatal("no established conn")
+	}
+	before := f.tr.Counters().ByOp[trace.OpCancel]
+	conn.Close()
+	after := f.tr.Counters().ByOp[trace.OpCancel]
+	if after <= before {
+		t.Fatal("close canceled no timers")
+	}
+	f.eng.Run(sim.Time(10 * sim.Second))
+	if conn.Established() {
+		t.Fatal("still established")
+	}
+}
+
+func TestRemoteCloseNotifies(t *testing.T) {
+	f := newFixture(1)
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	var serverConn *Conn
+	srv.Listen(80, func(c *Conn) { serverConn = c })
+	closed := false
+	var closeErr error = ErrTimeout
+	cli.Connect("server", 80, func(c *Conn, err error) {
+		c.OnClose = func(e error) { closed, closeErr = true, e }
+	})
+	f.eng.Run(sim.Time(sim.Second))
+	serverConn.Close()
+	f.eng.Run(sim.Time(2 * sim.Second))
+	if !closed || closeErr != nil {
+		t.Fatalf("closed=%v err=%v", closed, closeErr)
+	}
+}
+
+func TestARPFiveSecondCancelPattern(t *testing.T) {
+	// LAN noise keeps confirming a neighbour whose entry keeps going
+	// stale: the 5 s neigh-timer is set and then canceled at random
+	// offsets — Figure 8's "array of points at 5 seconds".
+	f := newFixture(11)
+	a := f.linuxStack("a")
+	_ = f.linuxStack("b")
+	a.Connect("b", 9, func(*Conn, error) {}) // seeds the neighbour entry
+	// Poisson-ish broadcast noise from b.
+	var noise func()
+	noise = func() {
+		f.net.Broadcast("b", "chatter")
+		f.eng.After(sim.Duration(f.eng.Rand().Int63n(int64(8*sim.Second))), "noise", noise)
+	}
+	f.eng.After(0, "noise", noise)
+	f.eng.Run(sim.Time(10 * sim.Minute))
+	sets, cancels := 0, 0
+	for _, r := range f.tr.Records() {
+		if f.tr.OriginName(r.Origin) != "kernel/arp:neigh-timer" {
+			continue
+		}
+		switch r.Op {
+		case trace.OpSet:
+			if r.Timeout == int64(arpDelayProbe) {
+				sets++
+			}
+		case trace.OpCancel:
+			cancels++
+		}
+	}
+	if sets < 3 {
+		t.Fatalf("only %d five-second ARP sets", sets)
+	}
+	if cancels == 0 {
+		t.Fatal("no ARP cancels: LAN noise is not confirming entries")
+	}
+}
+
+func TestARPPeriodicTimersPresent(t *testing.T) {
+	f := newFixture(1)
+	_ = f.linuxStack("a")
+	f.eng.Run(sim.Time(sim.Minute))
+	want := map[string]int{"kernel/arp:gc": 0, "kernel/arp:neigh-periodic": 0, "kernel/arp:cache-flush": 0}
+	for _, r := range f.tr.Records() {
+		if r.Op != trace.OpExpire {
+			continue
+		}
+		name := f.tr.OriginName(r.Origin)
+		if _, ok := want[name]; ok {
+			want[name]++
+		}
+	}
+	if want["kernel/arp:gc"] < 25 || want["kernel/arp:neigh-periodic"] < 12 || want["kernel/arp:cache-flush"] < 6 {
+		t.Fatalf("periodic ARP expiries = %v", want)
+	}
+}
+
+func TestVistaStackFreshTimerIdentities(t *testing.T) {
+	f := newFixture(1)
+	srv := f.vistaStack("server")
+	cli := f.vistaStack("client")
+	srv.Listen(80, func(c *Conn) {})
+	for i := 0; i < 3; i++ {
+		cli.Connect("server", 80, func(c *Conn, err error) {
+			if c != nil {
+				c.Close()
+			}
+		})
+		f.eng.Run(f.eng.Now().Add(sim.Second))
+	}
+	ids := map[uint64]bool{}
+	for _, r := range f.tr.Records() {
+		if r.Op == trace.OpSet && f.tr.OriginName(r.Origin) == "kernel/tcp:retransmit" {
+			ids[r.TimerID] = true
+		}
+	}
+	if len(ids) < 3 {
+		t.Fatalf("connections shared retransmit timer identities: %d", len(ids))
+	}
+}
+
+func TestNetworkPathOverrideAndBandwidth(t *testing.T) {
+	f := newFixture(1)
+	var at sim.Time
+	f.net.Attach("dst", func(p Packet) { at = f.eng.Now() })
+	f.net.Attach("src", func(Packet) {})
+	f.net.SetPath("src", "dst", PathConfig{Latency: 100 * sim.Millisecond})
+	f.net.Bandwidth = 1 << 20 // 1 MiB/s
+	f.net.Send(Packet{From: "src", To: "dst", Size: 1 << 20})
+	f.eng.RunAll()
+	want := sim.Time(1100 * sim.Millisecond)
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+	if f.net.Delivered != 1 {
+		t.Fatalf("delivered count = %d", f.net.Delivered)
+	}
+}
+
+func TestNetworkDropsToUnknownHost(t *testing.T) {
+	f := newFixture(1)
+	f.net.Send(Packet{From: "a", To: "nowhere", Size: 10})
+	f.eng.RunAll()
+	if f.net.Dropped != 1 {
+		t.Fatalf("dropped = %d", f.net.Dropped)
+	}
+}
+
+func TestPersistTimerProbesZeroWindow(t *testing.T) {
+	// Receiver closes its window; the sender's persist timer probes with
+	// exponential backoff; reopening resumes delivery.
+	f := newFixture(1)
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	var serverConn *Conn
+	delivered := 0
+	srv.Listen(80, func(c *Conn) {
+		serverConn = c
+		c.OnMessage = func(*Conn, int, any) { delivered++ }
+	})
+	var clientConn *Conn
+	cli.Connect("server", 80, func(c *Conn, err error) { clientConn = c })
+	f.eng.Run(sim.Time(sim.Second))
+	if serverConn == nil || clientConn == nil {
+		t.Fatal("no connection")
+	}
+	serverConn.PauseReceiving()
+	f.eng.Run(f.eng.Now().Add(100 * sim.Millisecond))
+	clientConn.Send(500, "blocked", nil)
+	f.eng.Run(f.eng.Now().Add(30 * sim.Second))
+	if delivered != 0 {
+		t.Fatal("message delivered through a closed window")
+	}
+	// Persist sets must appear in the trace with growing values.
+	var persists []int64
+	for _, r := range f.tr.Records() {
+		if r.Op == trace.OpSet && f.tr.OriginName(r.Origin) == "kernel/tcp:persist" {
+			persists = append(persists, r.Timeout)
+		}
+	}
+	if len(persists) < 3 {
+		t.Fatalf("only %d persist sets", len(persists))
+	}
+	if persists[len(persists)-1] <= persists[0] {
+		t.Fatalf("no backoff: %v", persists)
+	}
+	// Reopen: the queued message flows.
+	serverConn.ResumeReceiving()
+	f.eng.Run(f.eng.Now().Add(10 * sim.Second))
+	if delivered != 1 {
+		t.Fatalf("delivered = %d after window reopened", delivered)
+	}
+	if clientConn.persistTimer.Pending() {
+		t.Fatal("persist timer still pending after window reopened")
+	}
+}
+
+func TestPersistSurvivesLostWindowUpdate(t *testing.T) {
+	// The deadlock the persist timer exists to break: the window-update
+	// ACK is lost; only probing recovers.
+	f := newFixture(2)
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	var serverConn *Conn
+	delivered := 0
+	srv.Listen(80, func(c *Conn) {
+		serverConn = c
+		c.OnMessage = func(*Conn, int, any) { delivered++ }
+	})
+	var clientConn *Conn
+	cli.Connect("server", 80, func(c *Conn, err error) { clientConn = c })
+	f.eng.Run(sim.Time(sim.Second))
+	serverConn.PauseReceiving()
+	f.eng.Run(f.eng.Now().Add(100 * sim.Millisecond))
+	clientConn.Send(500, "blocked", nil)
+	f.eng.Run(f.eng.Now().Add(sim.Second))
+	// Lose the reopen announcement.
+	f.net.SetPath("server", "client", PathConfig{Latency: sim.Millisecond, Loss: 1})
+	serverConn.ResumeReceiving()
+	f.eng.Run(f.eng.Now().Add(100 * sim.Millisecond))
+	f.net.SetPath("server", "client", PathConfig{Latency: sim.Millisecond})
+	// A probe must discover the open window and unblock the transfer.
+	f.eng.Run(f.eng.Now().Add(2 * sim.Minute))
+	if delivered != 1 {
+		t.Fatalf("delivered = %d: persist probe did not break the deadlock", delivered)
+	}
+}
+
+func TestDuplicateSYNHandled(t *testing.T) {
+	// The client's SYN retransmits when the SYNACK is lost; the server's
+	// accepted connection must answer the duplicate instead of spawning a
+	// second connection.
+	f := newFixture(4)
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	accepts := 0
+	srv.Listen(80, func(c *Conn) { accepts++ })
+	// Warm the ARP cache so the loss window only affects TCP.
+	cli.Connect("server", 80, func(c *Conn, err error) {
+		if c != nil {
+			c.Close()
+		}
+	})
+	f.eng.Run(sim.Time(sim.Second))
+	accepts = 0
+	// Lose the first SYNACK only.
+	f.net.SetPath("server", "client", PathConfig{Latency: sim.Millisecond, Loss: 1})
+	var conn *Conn
+	cli.Connect("server", 80, func(c *Conn, err error) { conn = c })
+	f.eng.Run(f.eng.Now().Add(2 * sim.Second))
+	f.net.SetPath("server", "client", PathConfig{Latency: sim.Millisecond})
+	f.eng.Run(sim.Time(sim.Minute))
+	if conn == nil || !conn.Established() {
+		t.Fatal("never established after SYNACK loss")
+	}
+	if accepts != 1 {
+		t.Fatalf("accepts = %d", accepts)
+	}
+}
+
+func TestSendOnClosedConnErrors(t *testing.T) {
+	f := newFixture(1)
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	srv.Listen(80, func(c *Conn) {})
+	var conn *Conn
+	cli.Connect("server", 80, func(c *Conn, err error) { conn = c })
+	f.eng.Run(sim.Time(sim.Second))
+	conn.Close()
+	var got error
+	conn.Send(10, "x", func(err error) { got = err })
+	if got != ErrReset {
+		t.Fatalf("err = %v", got)
+	}
+}
+
+func TestPipelinedSendsDeliverInOrder(t *testing.T) {
+	f := newFixture(1)
+	srv := f.linuxStack("server")
+	cli := f.linuxStack("client")
+	var got []int
+	srv.Listen(80, func(c *Conn) {
+		c.OnMessage = func(_ *Conn, _ int, payload any) { got = append(got, payload.(int)) }
+	})
+	cli.Connect("server", 80, func(c *Conn, err error) {
+		for i := 0; i < 10; i++ {
+			c.Send(100, i, nil)
+		}
+	})
+	f.eng.Run(sim.Time(sim.Minute))
+	if len(got) != 10 {
+		t.Fatalf("got %d messages", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestBlackholeAnswersARPOnly(t *testing.T) {
+	f := newFixture(1)
+	cli := f.linuxStack("client")
+	f.net.AttachBlackhole("ghost")
+	var gotErr error
+	var doneAt sim.Time
+	cli.Connect("ghost", 80, func(c *Conn, err error) { gotErr, doneAt = err, f.eng.Now() })
+	f.eng.Run(sim.Time(3 * sim.Minute))
+	if gotErr != ErrTimeout {
+		t.Fatalf("err = %v", gotErr)
+	}
+	// ARP resolved (the "gateway" answered), so TCP burned its full SYN
+	// schedule: ~93 s, not the 3 s ARP failure.
+	if doneAt < sim.Time(90*sim.Second) {
+		t.Fatalf("gave up at %v: ARP should have resolved", doneAt)
+	}
+	if !cli.ARPReachable("ghost") {
+		t.Fatal("ghost not in the neighbour cache")
+	}
+}

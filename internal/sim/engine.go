@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events are created by Engine.At/After and
+// may be canceled before they run. The zero Event is not valid.
+type Event struct {
+	when  Time
+	seq   uint64 // tie-break: FIFO among events at the same instant
+	index int    // heap index, -1 once removed
+	name  string
+	fn    func()
+}
+
+// When returns the instant the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Name returns the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Stats accumulates engine-level accounting used by the power/overhead
+// experiments.
+type Stats struct {
+	// Events is the total number of events executed.
+	Events uint64
+	// Wakeups counts CPU wakeups: transitions from virtual idle to running.
+	// Events executing at the same instant share one wakeup, which is how
+	// timer coalescing (round_jiffies, slack windows, dynticks) saves power.
+	Wakeups uint64
+	// Canceled counts events canceled before they ran.
+	Canceled uint64
+	// IdleTime is the total virtual time during which no event was running,
+	// i.e. the sum of gaps between distinct event instants.
+	IdleTime Duration
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use: simulations are single-threaded by design so that a seed
+// fully determines the trace.
+type Engine struct {
+	now      Time
+	events   eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	stats    Stats
+	lastWake Time
+	hasWoken bool
+	running  bool
+	stopped  bool
+}
+
+// NewEngine returns an engine at time zero whose randomness derives entirely
+// from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Stats returns a copy of the accumulated accounting.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at instant t. Scheduling in the past (t < Now) is a
+// programming error and panics: the simulated kernels are responsible for
+// clamping, just as real kernels must decide what an already-expired timer
+// means.
+func (e *Engine) At(t Time, name string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, e.now))
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, name: name, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero,
+// matching the behaviour of timer syscalls given zero/negative timeouts.
+func (e *Engine) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), name, fn)
+}
+
+// Cancel removes a pending event. It returns false if the event has already
+// run or been canceled.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.events, ev.index)
+	e.stats.Canceled++
+	return true
+}
+
+// Reschedule moves a pending event to a new instant, preserving its callback.
+// If the event already fired it is re-queued. The returned event is ev.
+func (e *Engine) Reschedule(ev *Event, t Time) *Event {
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev.when = t
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step runs the earliest pending event. It returns false if the queue is
+// empty or the engine was stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	if ev.when > e.now {
+		// The CPU was idle between the previous batch and this instant.
+		e.stats.IdleTime += ev.when.Sub(e.now)
+		e.now = ev.when
+	}
+	if !e.hasWoken || e.lastWake != e.now {
+		e.stats.Wakeups++
+		e.lastWake = e.now
+		e.hasWoken = true
+	}
+	e.stats.Events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty, the engine is stopped, or
+// virtual time would pass `until`. Events scheduled exactly at `until` run.
+// On return the clock reads min(until, time of last event executed), and is
+// advanced to `until` if the queue drained earlier.
+func (e *Engine) Run(until Time) {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		if e.events[0].when > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until && !e.stopped {
+		e.stats.IdleTime += until.Sub(e.now)
+		e.now = until
+	}
+}
+
+// RunAll drains the queue completely (or until Stop). Intended for tests and
+// terminating workloads; a workload with a self-rearming ticker never drains.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}
+
+// Stop halts Run/RunAll after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (e *Engine) Stopped() bool { return e.stopped }

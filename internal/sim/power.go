@@ -1,0 +1,65 @@
+package sim
+
+import "fmt"
+
+// PowerModel converts engine accounting into an energy estimate, giving the
+// Section 5.3 experiments a physical unit: every avoided wakeup is energy
+// the CPU package did not spend leaving its sleep state, and every saved
+// busy microsecond is active power not drawn.
+//
+// The defaults approximate a 2008-era laptop (the paper's motivation:
+// "timeouts with definite wakeup times can cause significant (and
+// unnecessary) power consumption on systems that use low-power modes during
+// idle periods").
+type PowerModel struct {
+	// IdleWatts is package power in the deepest idle state.
+	IdleWatts float64
+	// ActiveWatts is package power while executing.
+	ActiveWatts float64
+	// WakeupJoules is the energy cost of one idle-to-active transition
+	// (C-state exit, cache refill).
+	WakeupJoules float64
+	// EventCPU approximates CPU time consumed per executed event.
+	EventCPU Duration
+}
+
+// LaptopPower is a plausible 2008 laptop: 0.5 W deep idle, 12 W active,
+// 2 mJ per wakeup, ~5 µs of CPU per timer event.
+func LaptopPower() PowerModel {
+	return PowerModel{
+		IdleWatts:    0.5,
+		ActiveWatts:  12,
+		WakeupJoules: 0.002,
+		EventCPU:     5 * Microsecond,
+	}
+}
+
+// Energy estimates the joules consumed over a span with the given engine
+// stats.
+func (m PowerModel) Energy(stats Stats, span Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	busy := Duration(stats.Events) * m.EventCPU
+	if busy > span {
+		busy = span
+	}
+	idle := span - busy
+	return float64(stats.Wakeups)*m.WakeupJoules +
+		busy.Seconds()*m.ActiveWatts +
+		idle.Seconds()*m.IdleWatts
+}
+
+// AveragePower is Energy over the span, in watts.
+func (m PowerModel) AveragePower(stats Stats, span Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return m.Energy(stats, span) / span.Seconds()
+}
+
+// String describes the model.
+func (m PowerModel) String() string {
+	return fmt.Sprintf("power(idle %.1fW, active %.1fW, wakeup %.1fmJ)",
+		m.IdleWatts, m.ActiveWatts, m.WakeupJoules*1000)
+}

@@ -1,0 +1,188 @@
+// Package softtimer implements soft timers (Aron & Druschel, TOCS 2000),
+// the related-work design the paper discusses for cheap microsecond-
+// resolution timing: instead of programming a hardware interrupt per
+// timeout, expired timers are checked and fired at "trigger states" the
+// system passes through anyway — system-call returns, exception exits, the
+// idle loop. A coarse hardware overflow timer bounds the worst-case
+// delivery latency when trigger states are scarce.
+//
+// The paper's Section 6 positions soft timers as a point solution to timer
+// overhead for network processing; this package lets the benchmarks compare
+// it quantitatively against interrupt-per-timer facilities on the same
+// simulated host.
+package softtimer
+
+import (
+	"container/heap"
+
+	"timerstudy/internal/sim"
+)
+
+// Timer is one scheduled soft timeout.
+type Timer struct {
+	deadline sim.Time
+	fn       func()
+	index    int
+	seq      uint64
+}
+
+// Deadline returns the scheduled expiry instant.
+func (t *Timer) Deadline() sim.Time { return t.deadline }
+
+// Pending reports whether the timer is still queued.
+func (t *Timer) Pending() bool { return t.index >= 0 }
+
+// Stats tallies delivery behaviour; the soft/hard split and the latency
+// moments are the facility's evaluation metrics.
+type Stats struct {
+	// Scheduled counts Schedule calls; Canceled counts cancels.
+	Scheduled, Canceled uint64
+	// SoftFired counts timers delivered from trigger states; HardFired
+	// counts those the overflow interrupt had to deliver.
+	SoftFired, HardFired uint64
+	// OverflowInterrupts counts hardware interrupts taken.
+	OverflowInterrupts uint64
+	// TriggerChecks counts trigger-state polls.
+	TriggerChecks uint64
+	// TotalLatency and MaxLatency measure delivery lag past the deadline.
+	TotalLatency sim.Duration
+	MaxLatency   sim.Duration
+}
+
+// MeanLatency returns average delivery lag.
+func (s Stats) MeanLatency() sim.Duration {
+	n := s.SoftFired + s.HardFired
+	if n == 0 {
+		return 0
+	}
+	return s.TotalLatency / sim.Duration(n)
+}
+
+// Facility is a soft-timer subsystem bound to a simulation engine.
+type Facility struct {
+	eng      *sim.Engine
+	q        timerHeap
+	seq      uint64
+	overflow sim.Duration
+	overEv   *sim.Event
+	stats    Stats
+}
+
+// New creates a facility whose hardware overflow interrupt runs every
+// overflowPeriod (Aron & Druschel used 1-10 ms). The interrupt only fires
+// while timers are pending.
+func New(eng *sim.Engine, overflowPeriod sim.Duration) *Facility {
+	if overflowPeriod <= 0 {
+		overflowPeriod = sim.Millisecond
+	}
+	return &Facility{eng: eng, overflow: overflowPeriod}
+}
+
+// Stats returns a copy of the counters.
+func (f *Facility) Stats() Stats { return f.stats }
+
+// Pending returns the number of queued timers.
+func (f *Facility) Pending() int { return len(f.q) }
+
+// Schedule queues fn to run no earlier than d from now. Delivery happens at
+// the next trigger state or overflow interrupt after the deadline.
+func (f *Facility) Schedule(d sim.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	f.seq++
+	t := &Timer{deadline: f.eng.Now().Add(d), fn: fn, seq: f.seq}
+	heap.Push(&f.q, t)
+	f.stats.Scheduled++
+	f.ensureOverflow()
+	return t
+}
+
+// Cancel removes a pending timer.
+func (f *Facility) Cancel(t *Timer) bool {
+	if t == nil || t.index < 0 {
+		return false
+	}
+	heap.Remove(&f.q, t.index)
+	f.stats.Canceled++
+	if len(f.q) == 0 && f.overEv != nil && f.overEv.Pending() {
+		f.eng.Cancel(f.overEv)
+		f.overEv = nil
+	}
+	return true
+}
+
+// TriggerState is the hook the host system calls at convenient points
+// (system-call return, exception exit, idle loop): expired timers fire here
+// for free, without any hardware interrupt.
+func (f *Facility) TriggerState() int {
+	f.stats.TriggerChecks++
+	return f.fire(false)
+}
+
+// fire delivers all due timers, attributing them to soft or hard delivery.
+func (f *Facility) fire(hard bool) int {
+	now := f.eng.Now()
+	n := 0
+	for len(f.q) > 0 && f.q[0].deadline <= now {
+		t := heap.Pop(&f.q).(*Timer)
+		lag := now.Sub(t.deadline)
+		f.stats.TotalLatency += lag
+		if lag > f.stats.MaxLatency {
+			f.stats.MaxLatency = lag
+		}
+		if hard {
+			f.stats.HardFired++
+		} else {
+			f.stats.SoftFired++
+		}
+		n++
+		t.fn()
+	}
+	return n
+}
+
+// ensureOverflow keeps the hardware backstop armed while timers pend.
+func (f *Facility) ensureOverflow() {
+	if f.overEv != nil && f.overEv.Pending() {
+		return
+	}
+	if len(f.q) == 0 {
+		return
+	}
+	f.overEv = f.eng.After(f.overflow, "softtimer:overflow", func() {
+		f.stats.OverflowInterrupts++
+		f.fire(true)
+		f.overEv = nil
+		f.ensureOverflow()
+	})
+}
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

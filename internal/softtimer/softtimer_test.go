@@ -1,0 +1,200 @@
+package softtimer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timerstudy/internal/sim"
+)
+
+// busyHost simulates a host passing through trigger states (syscall
+// returns) at the given mean interval.
+func busyHost(eng *sim.Engine, f *Facility, mean sim.Duration, until sim.Time) {
+	var step func()
+	step = func() {
+		f.TriggerState()
+		if eng.Now() < until {
+			d := sim.Duration(eng.Rand().ExpFloat64() * float64(mean))
+			if d < sim.Microsecond {
+				d = sim.Microsecond
+			}
+			eng.After(d, "trigger", step)
+		}
+	}
+	eng.After(0, "trigger", step)
+}
+
+func TestSoftDeliveryOnBusyHost(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := New(eng, 10*sim.Millisecond)
+	busyHost(eng, f, 20*sim.Microsecond, sim.Time(sim.Second))
+	fired := 0
+	var arm func()
+	arm = func() {
+		f.Schedule(100*sim.Microsecond, func() {
+			fired++
+			if eng.Now() < sim.Time(900*sim.Millisecond) {
+				arm()
+			}
+		})
+	}
+	arm()
+	eng.Run(sim.Time(sim.Second))
+	if fired < 5000 {
+		t.Fatalf("fired = %d", fired)
+	}
+	st := f.Stats()
+	// On a busy host essentially everything is delivered softly, at
+	// microsecond-scale latency, with almost no hardware interrupts.
+	if st.HardFired > st.SoftFired/50 {
+		t.Fatalf("hard=%d soft=%d: busy host should deliver softly", st.HardFired, st.SoftFired)
+	}
+	if st.MeanLatency() > 100*sim.Microsecond {
+		t.Fatalf("mean latency = %v", st.MeanLatency())
+	}
+}
+
+func TestOverflowBoundsLatencyOnIdleHost(t *testing.T) {
+	// No trigger states at all: the overflow interrupt must deliver, and
+	// latency is bounded by the overflow period.
+	eng := sim.NewEngine(1)
+	f := New(eng, 5*sim.Millisecond)
+	var firedAt sim.Time
+	f.Schedule(sim.Millisecond, func() { firedAt = eng.Now() })
+	eng.Run(sim.Time(sim.Second))
+	if firedAt == 0 {
+		t.Fatal("never fired")
+	}
+	lag := firedAt.Sub(sim.Time(sim.Millisecond))
+	if lag < 0 || lag > 5*sim.Millisecond {
+		t.Fatalf("lag = %v, want within one overflow period", lag)
+	}
+	st := f.Stats()
+	if st.HardFired != 1 || st.SoftFired != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNoOverflowInterruptsWhenIdle(t *testing.T) {
+	// With no pending timers the hardware timer stays off — the whole
+	// point versus a periodic tick.
+	eng := sim.NewEngine(1)
+	f := New(eng, sim.Millisecond)
+	tm := f.Schedule(10*sim.Millisecond, func() {})
+	if !f.Cancel(tm) {
+		t.Fatal("cancel failed")
+	}
+	if f.Cancel(tm) {
+		t.Fatal("double cancel")
+	}
+	eng.Run(sim.Time(sim.Second))
+	if got := f.Stats().OverflowInterrupts; got > 1 {
+		t.Fatalf("overflow interrupts = %d with nothing pending", got)
+	}
+}
+
+func TestCancelPreventsDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := New(eng, sim.Millisecond)
+	fired := false
+	tm := f.Schedule(10*sim.Millisecond, func() { fired = true })
+	f.Cancel(tm)
+	eng.Run(sim.Time(sim.Second))
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+	if f.Pending() != 0 {
+		t.Fatal("still pending")
+	}
+}
+
+// Property: a timer never fires before its deadline, whatever the trigger
+// pattern.
+func TestNeverEarlyProperty(t *testing.T) {
+	check := func(delays []uint16, triggerGaps []uint16) bool {
+		eng := sim.NewEngine(3)
+		f := New(eng, 2*sim.Millisecond)
+		ok := true
+		for _, d := range delays {
+			dd := sim.Duration(d) * sim.Microsecond
+			deadline := eng.Now().Add(dd)
+			f.Schedule(dd, func() {
+				if eng.Now() < deadline {
+					ok = false
+				}
+			})
+		}
+		at := sim.Time(0)
+		for _, g := range triggerGaps {
+			at = at.Add(sim.Duration(g) * sim.Microsecond)
+			eng.At(at, "trig", func() { f.TriggerState() })
+		}
+		eng.Run(sim.Time(sim.Second))
+		return ok && f.Pending() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The headline comparison: per-timer hardware interrupts vs soft delivery
+// for high-rate network polling (the use-case of the paper's reference
+// [4]). Soft timers cut hardware interrupts by orders of magnitude at a
+// modest latency cost.
+func TestInterruptReductionVsPerTimerInterrupts(t *testing.T) {
+	const rate = 50 * sim.Microsecond // 20 kHz polling, Gb-NIC territory
+	run := func(soft bool) (hwInterrupts uint64, meanLag sim.Duration) {
+		eng := sim.NewEngine(1)
+		if soft {
+			f := New(eng, 10*sim.Millisecond)
+			busyHost(eng, f, 30*sim.Microsecond, sim.Time(100*sim.Millisecond))
+			var arm func()
+			arm = func() {
+				f.Schedule(rate, func() {
+					if eng.Now() < sim.Time(90*sim.Millisecond) {
+						arm()
+					}
+				})
+			}
+			arm()
+			eng.Run(sim.Time(100 * sim.Millisecond))
+			st := f.Stats()
+			return st.OverflowInterrupts, st.MeanLatency()
+		}
+		// Baseline: one hardware interrupt per timer (engine events).
+		var n uint64
+		var rearm func()
+		rearm = func() {
+			eng.After(rate, "hw-timer", func() {
+				n++
+				if eng.Now() < sim.Time(90*sim.Millisecond) {
+					rearm()
+				}
+			})
+		}
+		rearm()
+		eng.Run(sim.Time(100 * sim.Millisecond))
+		return n, 0
+	}
+	hard, _ := run(false)
+	softN, lag := run(true)
+	if softN*100 > hard {
+		t.Fatalf("soft timers took %d hw interrupts vs %d per-timer", softN, hard)
+	}
+	if lag > 200*sim.Microsecond {
+		t.Fatalf("soft delivery latency = %v", lag)
+	}
+	t.Logf("hardware interrupts: %d per-timer vs %d soft (mean soft lag %v)", hard, softN, lag)
+}
+
+func BenchmarkScheduleFireSoft(b *testing.B) {
+	eng := sim.NewEngine(1)
+	f := New(eng, sim.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Schedule(10*sim.Microsecond, func() {})
+		f.TriggerState()
+		eng.Run(eng.Now().Add(20 * sim.Microsecond))
+		f.TriggerState()
+	}
+}

@@ -1,0 +1,128 @@
+package timerwheel
+
+// Heap is a binary min-heap of timers: O(log n) Schedule and Cancel, O(log n)
+// per fired timer. This is the structure behind Linux hrtimers (which use a
+// red-black tree with the same asymptotics) and Go's own runtime timers; it
+// is the "comparison-based" point in the ablation.
+type Heap struct {
+	items []*Timer
+	seq   uint64
+	last  uint64
+}
+
+// NewHeap returns an empty heap queue.
+func NewHeap() *Heap { return &Heap{} }
+
+// Name implements Queue.
+func (h *Heap) Name() string { return "binary-heap" }
+
+// Len implements Queue.
+func (h *Heap) Len() int { return len(h.items) }
+
+func (h *Heap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.expires != b.expires {
+		return a.expires < b.expires
+	}
+	return a.seq < b.seq
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *Heap) removeAt(i int) *Timer {
+	t := h.items[i]
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	t.queue = nil
+	t.index = 0
+	return t
+}
+
+// Schedule implements Queue.
+func (h *Heap) Schedule(t *Timer, expires uint64) {
+	if expires <= h.last {
+		expires = h.last + 1 // fire on the next tick, kernel-style rounding
+	}
+	if t.queue == Queue(h) {
+		// Move in place: cheaper than remove+insert.
+		h.seq++
+		t.expires = expires
+		t.seq = h.seq
+		h.down(t.index)
+		h.up(t.index)
+		return
+	}
+	if t.queue != nil {
+		t.queue.Cancel(t)
+	}
+	h.seq++
+	t.expires = expires
+	t.seq = h.seq
+	t.queue = h
+	t.index = len(h.items)
+	h.items = append(h.items, t)
+	h.up(t.index)
+}
+
+// Cancel implements Queue.
+func (h *Heap) Cancel(t *Timer) bool {
+	if t.queue != Queue(h) {
+		return false
+	}
+	h.removeAt(t.index)
+	return true
+}
+
+// Advance implements Queue.
+func (h *Heap) Advance(now uint64, fire func(*Timer)) int {
+	fired := 0
+	for len(h.items) > 0 && h.items[0].expires <= now {
+		t := h.removeAt(0)
+		fired++
+		fire(t)
+	}
+	if now > h.last {
+		h.last = now
+	}
+	return fired
+}

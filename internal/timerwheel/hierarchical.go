@@ -1,0 +1,141 @@
+package timerwheel
+
+// HierarchicalWheel is Varghese & Lauck's scheme 7 as implemented by the
+// Linux kernel's timer.c through 2.6.23 (the version the paper instruments):
+// a first-level wheel of 256 one-tick slots (tv1) and four higher levels of
+// 64 slots each (tv2..tv5), with coarser timers cascading down one level each
+// time the level below wraps. All operations are O(1) amortized; the cascade
+// is the well-known worst-case hiccup.
+const (
+	tvrBits = 8
+	tvrSize = 1 << tvrBits // 256
+	tvrMask = tvrSize - 1
+	tvnBits = 6
+	tvnSize = 1 << tvnBits // 64
+	tvnMask = tvnSize - 1
+)
+
+// HierarchicalWheel implements Queue.
+type HierarchicalWheel struct {
+	tv1 [tvrSize]bucket
+	tvn [4][tvnSize]bucket // tv2..tv5
+	now uint64             // base.timer_jiffies: next tick to process
+	n   int
+	seq uint64
+}
+
+// NewHierarchicalWheel returns a wheel whose "current tick" starts at zero.
+func NewHierarchicalWheel() *HierarchicalWheel {
+	w := &HierarchicalWheel{}
+	for i := range w.tv1 {
+		w.tv1[i].init()
+	}
+	for l := range w.tvn {
+		for i := range w.tvn[l] {
+			w.tvn[l][i].init()
+		}
+	}
+	w.now = 1 // next tick to process; nothing can expire at tick 0
+	return w
+}
+
+// Name implements Queue.
+func (w *HierarchicalWheel) Name() string { return "hierarchical-wheel" }
+
+// Len implements Queue.
+func (w *HierarchicalWheel) Len() int { return w.n }
+
+// vecFor returns the bucket a timer expiring at `expires` belongs in, given
+// the wheel's current base tick — a transliteration of Linux
+// internal_add_timer().
+func (w *HierarchicalWheel) vecFor(expires uint64) *bucket {
+	// idx is the distance to expiry from the wheel's base.
+	idx := int64(expires) - int64(w.now)
+	switch {
+	case idx < 0:
+		// Already expired: fire on the next processed tick.
+		return &w.tv1[w.now&tvrMask]
+	case idx < tvrSize:
+		return &w.tv1[expires&tvrMask]
+	case idx < 1<<(tvrBits+tvnBits):
+		return &w.tvn[0][(expires>>tvrBits)&tvnMask]
+	case idx < 1<<(tvrBits+2*tvnBits):
+		return &w.tvn[1][(expires>>(tvrBits+tvnBits))&tvnMask]
+	case idx < 1<<(tvrBits+3*tvnBits):
+		return &w.tvn[2][(expires>>(tvrBits+2*tvnBits))&tvnMask]
+	default:
+		// Cap at the maximum representable interval, like the kernel.
+		max := uint64(1)<<(tvrBits+4*tvnBits) - 1
+		if uint64(idx) > max {
+			expires = max + w.now
+		}
+		return &w.tvn[3][(expires>>(tvrBits+3*tvnBits))&tvnMask]
+	}
+}
+
+// Schedule implements Queue.
+func (w *HierarchicalWheel) Schedule(t *Timer, expires uint64) {
+	if t.queue != nil {
+		t.queue.Cancel(t)
+	}
+	w.seq++
+	t.expires = expires
+	t.seq = w.seq
+	t.queue = w
+	w.vecFor(expires).pushBack(t)
+	w.n++
+}
+
+// Cancel implements Queue.
+func (w *HierarchicalWheel) Cancel(t *Timer) bool {
+	if t.queue != Queue(w) || t.bucket == nil {
+		return false
+	}
+	t.bucket.remove(t)
+	t.queue = nil
+	w.n--
+	return true
+}
+
+// cascade re-files every timer in level/index one level down. Returns index,
+// so the caller can chain cascades exactly as run_timers() does.
+func (w *HierarchicalWheel) cascade(level, index int) int {
+	b := &w.tvn[level][index]
+	for {
+		t := b.popFront()
+		if t == nil {
+			break
+		}
+		w.vecFor(t.expires).pushBack(t)
+	}
+	return index
+}
+
+// Advance implements Queue. It processes each tick from the base up to and
+// including now, cascading at wrap points, then firing tv1's slot — the
+// structure of Linux __run_timers.
+func (w *HierarchicalWheel) Advance(now uint64, fire func(*Timer)) int {
+	fired := 0
+	for w.now <= now {
+		index := int(w.now & tvrMask)
+		if index == 0 &&
+			w.cascade(0, int(w.now>>tvrBits)&tvnMask) == 0 &&
+			w.cascade(1, int(w.now>>(tvrBits+tvnBits))&tvnMask) == 0 &&
+			w.cascade(2, int(w.now>>(tvrBits+2*tvnBits))&tvnMask) == 0 {
+			w.cascade(3, int(w.now>>(tvrBits+3*tvnBits))&tvnMask)
+		}
+		w.now++
+		b := &w.tv1[index]
+		for {
+			t := b.popFront()
+			if t == nil {
+				break
+			}
+			t.queue = nil
+			w.n--
+			fired++
+			fire(t)
+		}
+	}
+	return fired
+}

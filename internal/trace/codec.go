@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"timerstudy/internal/sim"
+)
+
+// Binary trace file format:
+//
+//	header:  magic "TSTR" | version u32 | record count u64 | origin count u32
+//	origins: per origin, length-prefixed (u32) UTF-8 bytes
+//	records: recordSize bytes each, little-endian, fields in struct order
+//
+// The format is self-contained: a decoded Buffer resolves origins exactly as
+// the live one did.
+
+const (
+	magic      = "TSTR"
+	version    = 1
+	recordSize = 40
+)
+
+func putRecord(dst []byte, r Record) {
+	le := binary.LittleEndian
+	le.PutUint64(dst[0:], uint64(r.T))
+	le.PutUint64(dst[8:], r.TimerID)
+	le.PutUint64(dst[16:], uint64(r.Timeout))
+	le.PutUint32(dst[24:], uint32(r.PID))
+	le.PutUint32(dst[28:], r.Origin)
+	dst[32] = byte(r.Op)
+	le.PutUint16(dst[33:], uint16(r.Flags))
+	// bytes 35..39 are padding, kept zero.
+	dst[35], dst[36], dst[37], dst[38], dst[39] = 0, 0, 0, 0, 0
+}
+
+func getRecord(src []byte) Record {
+	le := binary.LittleEndian
+	return Record{
+		T:       sim.Time(le.Uint64(src[0:])),
+		TimerID: le.Uint64(src[8:]),
+		Timeout: int64(le.Uint64(src[16:])),
+		PID:     int32(le.Uint32(src[24:])),
+		Origin:  le.Uint32(src[28:]),
+		Op:      Op(src[32]),
+		Flags:   Flags(le.Uint16(src[33:])),
+	}
+}
+
+// Encode writes the buffer in the binary trace format.
+func (b *Buffer) Encode(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [20]byte
+	copy(hdr[0:], magic)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[4:], version)
+	le.PutUint64(hdr[8:], uint64(len(b.records)))
+	le.PutUint32(hdr[16:], uint32(len(b.origins)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var lenbuf [4]byte
+	for _, o := range b.origins {
+		le.PutUint32(lenbuf[:], uint32(len(o)))
+		if _, err := bw.Write(lenbuf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(o); err != nil {
+			return err
+		}
+	}
+	var rec [recordSize]byte
+	for _, r := range b.records {
+		putRecord(rec[:], r)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a binary trace written by Encode into a fresh Buffer whose
+// capacity equals the stored record count.
+func Decode(r io.Reader) (*Buffer, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [20]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[0:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[0:4])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(hdr[4:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	nrec := le.Uint64(hdr[8:])
+	norig := le.Uint32(hdr[16:])
+	const maxReasonable = 1 << 28
+	if nrec > maxReasonable || norig > maxReasonable {
+		return nil, fmt.Errorf("trace: implausible header (records=%d origins=%d)", nrec, norig)
+	}
+	b := NewBuffer(int(nrec))
+	var lenbuf [4]byte
+	for i := uint32(0); i < norig; i++ {
+		if _, err := io.ReadFull(br, lenbuf[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading origin %d: %w", i, err)
+		}
+		n := le.Uint32(lenbuf[:])
+		if n > 1<<16 {
+			return nil, fmt.Errorf("trace: origin %d implausibly long (%d)", i, n)
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("trace: reading origin %d: %w", i, err)
+		}
+		if i == 0 {
+			continue // origin 0 ("?") pre-exists in a fresh buffer
+		}
+		b.Origin(string(name))
+	}
+	var rec [recordSize]byte
+	for i := uint64(0); i < nrec; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		b.Log(getRecord(rec[:]))
+	}
+	return b, nil
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"timerstudy/internal/sim"
+)
+
+// buildEncoded returns a valid encoded trace for corruption tests.
+func buildEncoded(t *testing.T, nrec int) []byte {
+	t.Helper()
+	b := NewBuffer(nrec)
+	o := b.Origin("kernel/x")
+	for i := 0; i < nrec; i++ {
+		b.Log(Record{T: sim.Time(i), TimerID: 1, Op: OpSet, Origin: o, Timeout: int64(sim.Second)})
+	}
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeTruncatedAtEveryBoundary(t *testing.T) {
+	full := buildEncoded(t, 5)
+	// Any strict prefix must fail cleanly, never panic or succeed.
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("decoded a %d-byte prefix of %d bytes", cut, len(full))
+		}
+	}
+	if _, err := Decode(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream failed: %v", err)
+	}
+}
+
+func TestDecodeRejectsImplausibleCounts(t *testing.T) {
+	full := buildEncoded(t, 1)
+	// Corrupt the record count to something absurd.
+	for i := 8; i < 16; i++ {
+		full[i] = 0xff
+	}
+	if _, err := Decode(bytes.NewReader(full)); err == nil {
+		t.Fatal("accepted an implausible record count")
+	}
+}
+
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	full := buildEncoded(t, 1)
+	full[4] = 99
+	if _, err := Decode(bytes.NewReader(full)); err == nil {
+		t.Fatal("accepted a future version")
+	}
+}
+
+func TestEncodeDecodeLargeTrace(t *testing.T) {
+	b := NewBuffer(50_000)
+	for i := 0; i < 50_000; i++ {
+		b.Log(Record{T: sim.Time(i), TimerID: uint64(i % 100), Op: Op(i % 4),
+			Origin: b.Origin("o" + string(rune('a'+i%26)))})
+	}
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 50_000 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	for i := 0; i < 50_000; i += 9973 {
+		if got.Records()[i] != b.Records()[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestOriginsSorted(t *testing.T) {
+	b := NewBuffer(1)
+	b.Origin("zzz")
+	b.Origin("aaa")
+	os := b.Origins()
+	for i := 1; i < len(os); i++ {
+		if os[i-1] > os[i] {
+			t.Fatalf("unsorted: %v", os)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"strings"
+
+	"timerstudy/internal/analysis"
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// VistaDesktop is the 90-second trace behind Figure 1: a typical desktop
+// with Outlook and a web browser in the foreground. The kernel sets around
+// a thousand timers per second, the browser tens, and Outlook about seventy
+// — except during activity bursts, when its user-interface code wraps every
+// upcall in a 5-second timeout assertion and the rate explodes to thousands
+// per second (the coding idiom Section 2.2.1 uncovered).
+func VistaDesktop(cfg Config) *Result {
+	if cfg.Duration == 0 {
+		cfg.Duration = 90 * sim.Second
+	}
+	sys := newVistaSystem(cfg)
+
+	// Busy-desktop kernel: extra driver DPC timers re-arming at
+	// millisecond scale (disk, network and audio all active) to reach the
+	// ≈1000 sets/s kernel line.
+	busyDrivers := []struct {
+		origin string
+		period sim.Duration
+	}{
+		{"system/tcpip:busy", 4 * sim.Millisecond},
+		{"system/tcpip:busy2", 9 * sim.Millisecond},
+		{"system/ndis:busy", 6 * sim.Millisecond},
+		{"system/ndis:busy2", 11 * sim.Millisecond},
+		{"system/storport:busy", 5 * sim.Millisecond},
+		{"system/storport:busy2", 12 * sim.Millisecond},
+		{"system/hdaudio:busy", 3 * sim.Millisecond},
+		{"system/hdaudio:mix", 8 * sim.Millisecond},
+		{"system/dxgkrnl:vsync", 7 * sim.Millisecond},
+		{"system/dxgkrnl:present", 10 * sim.Millisecond},
+		{"system/usbhub:busy", 13 * sim.Millisecond},
+		{"system/afd:busy", 14 * sim.Millisecond},
+		{"system/smb:busy", 9 * sim.Millisecond},
+		{"system/rdbss:busy", 12 * sim.Millisecond},
+	}
+	for _, d := range busyDrivers {
+		d := d
+		t := sys.k.NewTimer(d.origin, 0, false, nil)
+		var rearm func()
+		rearm = func() { sys.k.SetTimerIn(t, d.period, 0) }
+		t.SetDPC(rearm)
+		sys.eng.After(sys.uniform(0, d.period), d.origin+":phase", rearm)
+	}
+
+	// The browser: tens of timer sets per second.
+	bpid := sys.pid()
+	bth := sys.k.NewThread(bpid, "iexplore.exe!ev")
+	sys.shortWaitLoop(bth, 30*sim.Millisecond)
+	bq := sys.k.NewMessageQueue(bpid, "iexplore.exe")
+	bq.SetTimer(1, 100*sim.Millisecond, func() {})
+
+	// Outlook: the UI-upcall guard. Every upcall sets a 5 s threadpool
+	// timeout assertion and cancels it on return.
+	opid := sys.pid()
+	pool := sys.k.NewPool(opid, "outlook.exe")
+	guard := func() {
+		tp := pool.NewTimer("outlook.exe/ui-guard", func() {})
+		tp.Set(5*sim.Second, 0, 0)
+		// The upcall returns quickly; the assertion is canceled.
+		sys.eng.After(sys.uniform(50*sim.Microsecond, 2*sim.Millisecond), "outlook:return", func() {
+			tp.Cancel()
+		})
+	}
+	// Idle Outlook: ~70 upcalls per second (message pump churn).
+	var pump func()
+	pump = func() {
+		guard()
+		sys.eng.After(sys.exp(14*sim.Millisecond), "outlook:pump", pump)
+	}
+	sys.eng.After(0, "outlook:pump", pump)
+	// Bursts: mail sync at 20 s and 55 s drives thousands of upcalls per
+	// second for a couple of seconds.
+	for _, burstStart := range []sim.Duration{20 * sim.Second, 55 * sim.Second} {
+		burstStart := burstStart
+		burstEnd := burstStart + 2*sim.Second
+		var burst func()
+		burst = func() {
+			for i := 0; i < 14; i++ {
+				guard()
+			}
+			if sim.Duration(sys.eng.Now()) < burstEnd {
+				sys.eng.After(2*sim.Millisecond, "outlook:burst", burst)
+			}
+		}
+		sys.eng.After(burstStart, "outlook:burst", burst)
+	}
+
+	// An Outlook housekeeping wait loop too, for the idle floor.
+	oth := sys.k.NewThread(opid, "outlook.exe!bg")
+	sys.waitLoop(oth, 250*sim.Millisecond, 0.1)
+
+	return sys.finish(Desktop)
+}
+
+// DesktopGrouper maps trace records to the Figure 1 lines: Outlook, the
+// browser, other system processes, and the kernel.
+func DesktopGrouper(tr *trace.Buffer) analysis.Grouper {
+	return func(r trace.Record, origin string) string {
+		switch {
+		case strings.HasPrefix(origin, "outlook.exe"):
+			return "Outlook"
+		case strings.HasPrefix(origin, "iexplore.exe"):
+			return "Browser"
+		case r.PID == 0 || strings.HasPrefix(origin, "system/") || strings.HasPrefix(origin, "kernel/"):
+			return "Kernel"
+		default:
+			return "System"
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"timerstudy/internal/jiffies"
+	"timerstudy/internal/kernel"
+	"timerstudy/internal/netsim"
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// linuxSystem is a booted Debian-ish box: kernel housekeeping timers, the
+// network stack with ARP, LAN background chatter, and the stock daemons of
+// the paper's idle description (syslogd, inetd, atd, cron, portmapper,
+// gettys).
+type linuxSystem struct {
+	cfg   Config
+	eng   *sim.Engine
+	tr    *trace.Buffer
+	l     *kernel.Linux
+	net   *netsim.Network
+	stack *netsim.Stack
+	rng   *rand.Rand
+
+	// Block-layer timer slabs: command and unplug timers live in request
+	// structures that are recycled, so their trace identities recur — the
+	// same reuse that keeps the paper's timer counts at ~100 per trace.
+	idePool    []*jiffies.Timer
+	unplugPool []*jiffies.Timer
+}
+
+func newLinuxSystem(cfg Config) *linuxSystem {
+	eng := sim.NewEngine(cfg.Seed)
+	tr := trace.NewBuffer(cfg.traceCap())
+	l := kernel.NewLinux(eng, tr)
+	sys := &linuxSystem{cfg: cfg, eng: eng, tr: tr, l: l, rng: eng.Rand()}
+	sys.net = netsim.NewNetwork(eng)
+	sys.stack = netsim.NewStack(sys.net, "testbox", &netsim.LinuxFacility{Base: l.Base()})
+	sys.stack.KeepaliveEnabled = true
+	sys.bootKernelDaemons()
+	sys.bootUserDaemons()
+	sys.bootLAN()
+	return sys
+}
+
+// exp returns an exponentially distributed delay with the given mean,
+// bounded away from zero.
+func (s *linuxSystem) exp(mean sim.Duration) sim.Duration {
+	d := sim.Duration(s.rng.ExpFloat64() * float64(mean))
+	if d < sim.Microsecond {
+		d = sim.Microsecond
+	}
+	return d
+}
+
+// uniform returns a delay in [lo, hi).
+func (s *linuxSystem) uniform(lo, hi sim.Duration) sim.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + sim.Duration(s.rng.Int63n(int64(hi-lo)))
+}
+
+// periodic installs a self-re-arming kernel timer — the ClassPeriodic
+// pattern (page-out timer, work queues). jitter adds call-site arming slack,
+// reproducing the up-to-2 ms value jitter of Section 3.1.
+func (s *linuxSystem) periodic(origin string, period sim.Duration, body func()) *jiffies.Timer {
+	var t *jiffies.Timer
+	t = s.l.KernelTimer(origin, func() {
+		if body != nil {
+			body()
+		}
+		s.l.Base().ModTimeout(t, period)
+	})
+	// First arming at a random phase.
+	s.eng.After(s.uniform(0, period), origin+":phase", func() {
+		s.l.Base().ModTimeout(t, period)
+	})
+	return t
+}
+
+// diskIO models one block-layer request: the 4 ms unplug timer (mostly
+// expiring) and the 30 s IDE command timeout (canceled when the command
+// completes) — Table 3's 0.004 s and 30 s rows. Timer structs come from
+// per-purpose slabs and return there, as the kernel's request structures do.
+func (s *linuxSystem) diskIO() {
+	ide := s.popTimer(&s.idePool, "kernel/ide:command-timeout")
+	done := false
+	ide.SetCallback(func() { done = true }) // command timeout: request aborts
+	s.l.Base().ModTimeout(ide, 30*sim.Second)
+	s.eng.After(s.uniform(2*sim.Millisecond, 12*sim.Millisecond), "ide:complete", func() {
+		if !done {
+			s.l.Base().Del(ide)
+		}
+		s.idePool = append(s.idePool, ide)
+	})
+
+	unplug := s.popTimer(&s.unplugPool, "kernel/block:unplug")
+	unplug.SetCallback(func() {
+		s.unplugPool = append(s.unplugPool, unplug)
+	})
+	s.l.Base().ModTimeout(unplug, 4*sim.Millisecond)
+}
+
+// popTimer takes a recycled timer from a slab, initializing a fresh one on
+// first use.
+func (s *linuxSystem) popTimer(pool *[]*jiffies.Timer, origin string) *jiffies.Timer {
+	if n := len(*pool); n > 0 {
+		t := (*pool)[n-1]
+		*pool = (*pool)[:n-1]
+		return t
+	}
+	return s.l.KernelTimer(origin, nil)
+}
+
+func (s *linuxSystem) bootKernelDaemons() {
+	b := s.l.Base()
+	// The Table 3 periodic family.
+	s.periodic("kernel/workqueue:timer", sim.Second, nil)
+	s.periodic("kernel/workqueue:delayed", 2*sim.Second, nil)
+	s.periodic("kernel/hres:clocksource-watchdog", 500*sim.Millisecond, nil)
+	s.periodic("kernel/usb:hcd-poll", 248*sim.Millisecond, nil)
+	s.periodic("kernel/e1000:watchdog", 2*sim.Second, nil)
+	s.periodic("kernel/pktsched:qdisc", 5*sim.Second, nil)
+	s.periodic("kernel/vm:vmstat-update", sim.Second, nil)
+	s.periodic("kernel/mm:slab-reap", 2*sim.Second, nil)
+	// Dirty page write-back: every 5 s; occasionally finds work and does
+	// disk I/O.
+	s.periodic("kernel/mm:writeback", 5*sim.Second, func() {
+		if s.rng.Intn(4) == 0 {
+			s.diskIO()
+		}
+	})
+	// Page-out timer.
+	s.periodic("kernel/mm:page-out", 10*sim.Second, nil)
+	// Console blank: a long watchdog; no console input ever arrives in
+	// these workloads, so it expires once (blanks) per 10 minutes of trace.
+	var blank *jiffies.Timer
+	blank = s.l.KernelTimer("kernel/console:blank", func() {
+		b.ModTimeout(blank, 600*sim.Second)
+	})
+	b.ModTimeout(blank, 600*sim.Second)
+}
+
+func (s *linuxSystem) bootUserDaemons() {
+	// init polls its children every 5 s (Table 3).
+	s.selectLoop(s.l.NewProcess("init"), 5*sim.Second, 0)
+	// Stock daemons wake rarely on fixed human values.
+	s.selectLoop(s.l.NewProcess("syslogd"), 30*sim.Second, 0)
+	s.selectLoop(s.l.NewProcess("cron"), 60*sim.Second, 0)
+	s.selectLoop(s.l.NewProcess("atd"), 60*sim.Second, 0)
+	s.selectLoop(s.l.NewProcess("inetd"), 120*sim.Second, 0)
+	s.selectLoop(s.l.NewProcess("portmap"), 300*sim.Second, 0)
+}
+
+// selectLoop runs a daemon's event loop: select with a constant timeout; if
+// activityMean > 0, fd activity completes some selects early and the loop
+// continues with the written-back remainder — the Figure 4 countdown idiom.
+// With activityMean == 0 the select always expires (pure periodic daemon).
+func (s *linuxSystem) selectLoop(p *kernel.Process, timeout sim.Duration, activityMean sim.Duration) {
+	var issue func(to sim.Duration)
+	var pending *kernel.Pending
+	issue = func(to sim.Duration) {
+		if to <= 0 {
+			to = timeout
+		}
+		pending = p.Select(to, func(r kernel.SelectResult) {
+			if r.TimedOut || r.Remaining == 0 {
+				// Deadline reached: handle housekeeping, restart at the
+				// programmed constant.
+				issue(timeout)
+				return
+			}
+			// fd activity: service it, re-issue with the remainder.
+			issue(r.Remaining)
+		})
+	}
+	issue(timeout)
+	if activityMean > 0 {
+		var activity func()
+		activity = func() {
+			pending.Complete()
+			s.eng.After(s.exp(activityMean), p.Name+":activity", activity)
+		}
+		s.eng.After(s.exp(activityMean), p.Name+":activity", activity)
+	}
+}
+
+// bootLAN attaches phantom LAN neighbours whose broadcast chatter keeps the
+// ARP cache churning (the random 5 s cancels of Figure 8).
+func (s *linuxSystem) bootLAN() {
+	neighbours := []string{"lanhost1", "lanhost2", "lanhost3", "printer", "router"}
+	for _, h := range neighbours {
+		h := h
+		s.net.Attach(h, func(netsim.Packet) {})
+		var chatter func()
+		chatter = func() {
+			s.net.Broadcast(h, "arp-chatter")
+			s.eng.After(s.exp(6*sim.Second), "lan:chatter", chatter)
+		}
+		s.eng.After(s.exp(6*sim.Second), "lan:chatter", chatter)
+	}
+	// Seed our neighbour entries by talking to the router once.
+	s.eng.After(sim.Second, "lan:seed", func() {
+		s.stack.Connect("router", 7, func(c *netsim.Conn, err error) {
+			if c != nil {
+				c.Close()
+			}
+		})
+	})
+}
+
+// startX starts the X server and window manager with their select
+// countdowns: Xorg counts down from its 600 s screensaver deadline, icewm
+// from a 60 s housekeeping deadline with a 1 s clock redraw generating
+// activity for both.
+func (s *linuxSystem) startX(xActivityMean sim.Duration) {
+	xorg := s.l.NewProcess("Xorg")
+	icewm := s.l.NewProcess("icewm")
+	s.selectLoop(xorg, 600*sim.Second, xActivityMean)
+	s.selectLoop(icewm, 60*sim.Second, 4*xActivityMean)
+}
+
+// finish runs the engine for the configured duration and packages results.
+func (s *linuxSystem) finish(name string) *Result {
+	s.eng.Run(sim.Time(s.cfg.Duration))
+	return &Result{
+		Name: name, OS: "linux", Trace: s.tr,
+		Duration: s.cfg.Duration, Stats: s.eng.Stats(),
+	}
+}
+
+// newUntracedBase creates a jiffies base whose records go nowhere: the timer
+// subsystem of a machine that participates in the experiment but is not the
+// system under test (remote web hosts, the httperf load generator).
+func newUntracedBase(s *linuxSystem) *jiffies.Base {
+	return jiffies.NewBase(s.eng, trace.NewBuffer(0))
+}
+
+// remoteBase is shorthand used by the application workloads.
+func (s *linuxSystem) remoteBase() *jiffies.Base { return newUntracedBase(s) }
+
+// LinuxIdle is the paper's idle desktop: booted system, X and icewm running,
+// network connected, nobody home.
+func LinuxIdle(cfg Config) *Result {
+	sys := newLinuxSystem(cfg)
+	sys.startX(60 * sim.Millisecond)
+	return sys.finish(Idle)
+}
