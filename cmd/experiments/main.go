@@ -198,8 +198,8 @@ func dispatcherExperiment() {
 	sched := dispatch.NewScheduler(eng2)
 	audio := sched.NewTask("audio", 4)
 	video := sched.NewTask("video", 1)
-	audio.Periodic(20*sim.Millisecond, 5*sim.Millisecond, 2*sim.Millisecond, func(dispatch.Context) {})
-	video.Periodic(33*sim.Millisecond, 12*sim.Millisecond, 4*sim.Millisecond, func(dispatch.Context) {})
+	audio.Periodic(audioFrameInterval, audioWindow, audioBudget, func(dispatch.Context) {})
+	video.Periodic(videoFrameInterval, videoWindow, videoBudget, func(dispatch.Context) {})
 	eng2.Run(sim.Time(runFor))
 	st := sched.Stats()
 	fmt.Printf("dispatcher:  %6d timer accesses, %6d scheduler activations, %d/%d dispatches missed\n",
@@ -228,7 +228,7 @@ func softTimerExperiment() {
 
 	// Soft timers on a busy host.
 	eng2 := sim.NewEngine(1)
-	f := softtimer.New(eng2, 10*sim.Millisecond)
+	f := softtimer.New(eng2, softOverflowPeriod)
 	var trigger func()
 	trigger = func() {
 		f.TriggerState()
@@ -353,7 +353,7 @@ func layersExperiment() {
 			if pol == layers.Adaptive {
 				w.Warm(10)
 			}
-			rows = append(rows, row{pol, target, w.OpenShare(pol, target, 5*sim.Second)})
+			rows = append(rows, row{pol, target, w.OpenShare(pol, target, shareDeadline)})
 		}
 	}
 	fmt.Printf("%-10s %-16s %-8s %-14s %s\n", "policy", "target", "result", "time-to-report", "decided by")
@@ -412,14 +412,14 @@ func coalescingExperiment() {
 			phase := sim.Duration(eng.Rand().Int63n(int64(sim.Second)))
 			p := phase
 			eng.After(p, "start", func() {
-				f.NewTicker("housekeeping", sim.Second, slack, func() {})
+				f.NewTicker("housekeeping", housekeepingPeriod, slack, func() {})
 			})
 		}
 		eng.Run(sim.Time(sim.Minute))
 		return f.Stats().Wakeups
 	}
 	precise := run(0)
-	sloppy := run(300 * sim.Millisecond)
+	sloppy := run(coalesceSlack)
 	fmt.Printf("core facility, 100 x 1 s tickers over 60 s: %d wakeups precise, %d with 300 ms slack (%.1fx fewer)\n",
 		precise, sloppy, float64(precise)/float64(sloppy))
 	pm := sim.LaptopPower()
@@ -435,7 +435,7 @@ func coalescingExperiment() {
 			t := &jiffies.Timer{}
 			var rearm func()
 			rearm = func() {
-				dj := jiffies.MsecsToJiffies(sim.Second)
+				dj := jiffies.MsecsToJiffies(housekeepingPeriod)
 				if round {
 					dj = b.RoundJiffiesRelative(dj)
 				}

@@ -1,0 +1,28 @@
+package main
+
+import "timerstudy/internal/sim"
+
+// The experiment suite's timeout registry (paper Section 5.2: a timeout
+// value without provenance is a bug).
+const (
+	// audioFrameInterval: the 20 ms VoIP audio cadence from the Skype traces.
+	audioFrameInterval = 20 * sim.Millisecond
+	// audioWindow: ±5 ms tolerable dispatch slack for audio.
+	audioWindow = 5 * sim.Millisecond
+	// audioBudget: ~2 ms CPU per audio frame declared to the dispatcher.
+	audioBudget = 2 * sim.Millisecond
+	// videoFrameInterval: the declared ~30 fps video cadence.
+	videoFrameInterval = 33 * sim.Millisecond
+	// videoWindow: ±12 ms tolerable dispatch slack for video.
+	videoWindow = 12 * sim.Millisecond
+	// videoBudget: ~4 ms CPU per video frame declared to the dispatcher.
+	videoBudget = 4 * sim.Millisecond
+	// softOverflowPeriod: soft-timer overflow backstop — the related work's 10 ms worst-case bound.
+	softOverflowPeriod = 10 * sim.Millisecond
+	// shareDeadline: the user-level OpenShare budget, matching examples/fileshare.
+	shareDeadline = 5 * sim.Second
+	// housekeepingPeriod: canonical 1 s housekeeping cadence used by the coalescing experiments.
+	housekeepingPeriod = sim.Second
+	// coalesceSlack: the 300 ms slack window the coalescing experiment grants each ticker.
+	coalesceSlack = 300 * sim.Millisecond
+)

@@ -1,0 +1,19 @@
+package main
+
+import "timerstudy/internal/sim"
+
+// The demo's timeout registry (paper Section 5.2: every timeout carries its
+// provenance).
+const (
+	// fixedTimeout: the classic hard-coded 30 s RPC timeout — the status-quo
+	// value the paper's title argues about; it is the baseline under study.
+	fixedTimeout = 30 * sim.Second
+	// serviceTime: the server's per-request service time; small against the 60 ms path latency.
+	serviceTime = 2 * sim.Millisecond
+	// trainRun: phase-1 run window — 300 calls at 50 ms spacing plus drain time.
+	trainRun = 20 * sim.Second
+	// failRun: phase-2 run window — long enough for the fixed 30 s client to finally notice the dead server.
+	failRun = 2 * sim.Minute
+	// relearnRun: phase-3 run window — 200 calls at 100 ms spacing plus drain time on the slow link.
+	relearnRun = 60 * sim.Second
+)

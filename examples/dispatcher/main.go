@@ -38,7 +38,7 @@ func pollLoopVersion() {
 	audioLoop = func() {
 		// The observed idiom: poll with a short timeout approximating the
 		// frame cadence, spin until the deadline.
-		audio.Poll(20*sim.Millisecond, func(kernel.SelectResult) {
+		audio.Poll(audioFrameInterval, func(kernel.SelectResult) {
 			frames++
 			audioLoop()
 		})
@@ -47,7 +47,7 @@ func pollLoopVersion() {
 	video := app.NewThread()
 	var videoLoop func()
 	videoLoop = func() {
-		video.Poll(32*sim.Millisecond, func(kernel.SelectResult) { videoLoop() })
+		video.Poll(videoPollTimeout, func(kernel.SelectResult) { videoLoop() })
 	}
 	videoLoop()
 	eng.Run(sim.Time(runFor))
@@ -64,10 +64,10 @@ func dispatcherVersion() {
 	audio := sched.NewTask("audio", 4)
 	video := sched.NewTask("video", 1)
 	frames := 0
-	audio.Periodic(20*sim.Millisecond, 5*sim.Millisecond, 2*sim.Millisecond, func(c dispatch.Context) {
+	audio.Periodic(audioFrameInterval, audioWindow, audioBudget, func(c dispatch.Context) {
 		frames++
 	})
-	video.Periodic(33*sim.Millisecond, 12*sim.Millisecond, 4*sim.Millisecond, func(dispatch.Context) {})
+	video.Periodic(videoFrameInterval, videoWindow, videoBudget, func(dispatch.Context) {})
 	eng.Run(sim.Time(runFor))
 
 	st := sched.Stats()

@@ -1,0 +1,24 @@
+package main
+
+import "timerstudy/internal/sim"
+
+// The demo's timeout registry: the A/V cadences come straight from the
+// paper's soft-real-time observations (Skype audio at 20 ms, video around
+// 30 fps), and the dispatcher declarations attach the windows and budgets
+// Section 5.5 argues temporal requirements should carry.
+const (
+	// audioFrameInterval: the 20 ms VoIP audio cadence of the Skype traces.
+	audioFrameInterval = 20 * sim.Millisecond
+	// videoPollTimeout: the poll-loop approximation of the ~33 ms video frame — 8 jiffies, as traced.
+	videoPollTimeout = 32 * sim.Millisecond
+	// videoFrameInterval: the declared video cadence (30 fps).
+	videoFrameInterval = 33 * sim.Millisecond
+	// audioWindow: ±5 ms tolerable dispatch slack for audio — a jitter-buffer frame fits it.
+	audioWindow = 5 * sim.Millisecond
+	// audioBudget: ~2 ms of CPU per audio frame, declared to the dispatcher.
+	audioBudget = 2 * sim.Millisecond
+	// videoWindow: ±12 ms tolerable dispatch slack for video — under half a frame.
+	videoWindow = 12 * sim.Millisecond
+	// videoBudget: ~4 ms of CPU per video frame, declared to the dispatcher.
+	videoBudget = 4 * sim.Millisecond
+)

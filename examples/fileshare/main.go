@@ -14,7 +14,6 @@ import (
 	"fmt"
 
 	"timerstudy/internal/layers"
-	"timerstudy/internal/sim"
 )
 
 func main() {
@@ -30,7 +29,7 @@ func main() {
 				// A deployed system has history; warm the estimators.
 				w.Warm(10)
 			}
-			o := w.OpenShare(policy, target, 5*sim.Second)
+			o := w.OpenShare(policy, target, userDeadline)
 			status := "ERROR"
 			if o.OK {
 				status = "ok"

@@ -1,0 +1,8 @@
+package main
+
+import "timerstudy/internal/sim"
+
+// userDeadline: the user-level budget handed to OpenShare — the "how long a
+// person will stare at a file browser" figure the budgeted policy propagates
+// through every layer (paper Section 5.2).
+const userDeadline = 5 * sim.Second

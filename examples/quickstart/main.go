@@ -19,35 +19,36 @@ func main() {
 
 	// A periodic ticker: drift-free, with slack so it can batch with other
 	// imprecise timers.
-	ticker := fac.NewTicker("demo/housekeeping", sim.Second, 200*sim.Millisecond, func() {
+	ticker := fac.NewTicker("demo/housekeeping", tickPeriod, tickSlack, func() {
 		fmt.Printf("  [%v] housekeeping tick\n", eng.Now())
 	})
 
-	// A timeout guard around an "operation": the Win32 auto-object idiom.
-	guard := fac.NewGuard(nil, "demo/fetch", core.Exact(1500*sim.Millisecond), func() {
+	// A timeout guard around an "operation": the Win32 auto-object idiom,
+	// but with a coalescable window instead of the legacy exact deadline.
+	guard := fac.NewGuard(nil, "demo/fetch", core.Window(fetchDeadline, fetchSlack), func() {
 		fmt.Printf("  [%v] fetch TIMED OUT\n", eng.Now())
 	})
-	eng.After(700*sim.Millisecond, "fetch-done", func() {
+	eng.After(fetchDone, "fetch-done", func() {
 		if guard.Done() {
 			fmt.Printf("  [%v] fetch completed before its deadline\n", eng.Now())
 		}
 	})
 
 	// A watchdog kicked by activity: fires only when the activity stops.
-	wd := fac.NewWatchdog("demo/heartbeat", 800*sim.Millisecond, 0, func() {
+	wd := fac.NewWatchdog("demo/heartbeat", watchdogInterval, 0, func() {
 		fmt.Printf("  [%v] WATCHDOG: heartbeats stopped\n", eng.Now())
 	})
 	var beat func()
 	beat = func() {
 		wd.Kick()
 		if eng.Now() < sim.Time(2*sim.Second) {
-			eng.After(300*sim.Millisecond, "beat", beat)
+			eng.After(heartbeatGap, "beat", beat)
 		}
 	}
 	eng.After(0, "beat", beat)
 
 	// A deferred action: runs after the resource has been quiet for 1 s.
-	lazy := fac.NewDeferred("demo/lazy-close", sim.Second, 0, func() {
+	lazy := fac.NewDeferred("demo/lazy-close", deferredQuiet, 0, func() {
 		fmt.Printf("  [%v] closing idle handles (deferred work)\n", eng.Now())
 	})
 	for _, at := range []sim.Duration{100, 400, 900} {
@@ -67,10 +68,10 @@ func main() {
 	fmt.Printf("  3rd retry would use: %v (exponential backoff)\n", adapt.CurrentRetry(2))
 
 	fmt.Println("\n== declared timer relations (Section 5.2) ==")
-	fac.ArmOverlapping(core.EitherMayExpire, "demo/lookup", 10*sim.Second, 2*sim.Second, func(which int) {
+	fac.ArmOverlapping(core.EitherMayExpire, "demo/lookup", lookupPrimary, lookupFallback, func(which int) {
 		fmt.Printf("  [%v] lookup timeout %d fired (the other was never armed)\n", eng.Now(), which)
 	})
-	eng.Run(eng.Now().Add(3 * sim.Second))
+	eng.Run(eng.Now().Add(lookupRun))
 
 	st := fac.Stats()
 	fmt.Printf("\nfacility stats: %d arms, %d fires, %d cancels, %d wakeups (%d coalesced, %d elided)\n",

@@ -1,0 +1,31 @@
+package main
+
+import "timerstudy/internal/sim"
+
+// The quickstart's timeout registry. The demo compresses the paper's use
+// cases into a four-second run, so each value below is chosen for narrative
+// pacing — short enough to watch, long enough to distinguish the idioms.
+const (
+	// tickPeriod: housekeeping cadence; 1 s makes each tick visible in the run.
+	tickPeriod = sim.Second
+	// tickSlack: 20% slack so the ticker can batch with other imprecise timers.
+	tickSlack = 200 * sim.Millisecond
+	// fetchDeadline: the guarded operation's deadline; must exceed fetchDone so the demo completes in time.
+	fetchDeadline = 1500 * sim.Millisecond
+	// fetchSlack: 10% window on the guard — a timeout this coarse never needs an exact deadline.
+	fetchSlack = 150 * sim.Millisecond
+	// fetchDone: when the guarded operation finishes — comfortably inside fetchDeadline.
+	fetchDone = 700 * sim.Millisecond
+	// watchdogInterval: heartbeat watchdog period; fires only after beats stop at 2 s.
+	watchdogInterval = 800 * sim.Millisecond
+	// heartbeatGap: beat spacing, well under watchdogInterval so the watchdog stays quiet.
+	heartbeatGap = 300 * sim.Millisecond
+	// deferredQuiet: quiet period before the deferred close runs, outlasting the 900 ms of touches.
+	deferredQuiet = sim.Second
+	// lookupPrimary: the longer of the two declared-overlapping lookup timeouts.
+	lookupPrimary = 10 * sim.Second
+	// lookupFallback: the shorter overlapping timeout; EitherMayExpire arms only one.
+	lookupFallback = 2 * sim.Second
+	// lookupRun: extra run time for the overlapping-lookup act of the demo.
+	lookupRun = 3 * sim.Second
+)

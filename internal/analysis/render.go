@@ -105,6 +105,11 @@ func RenderScatter(points []ScatterPoint) string {
 		grid[i] = make([]int, cols)
 	}
 	for _, p := range points {
+		if p.Timeout <= 0 {
+			// Log10(0) is -Inf and int(NaN) is unspecified; a zero timeout
+			// has no sensible log-scale column anyway.
+			continue
+		}
 		x := int((math.Log10(p.Timeout.Seconds()) - minExp) * 5)
 		y := int(p.RatioPct) / rowPct
 		if x < 0 || x >= cols || y < 0 || y >= rows {
@@ -151,6 +156,11 @@ func RenderScatter(points []ScatterPoint) string {
 func RenderSeries(points []SeriesPoint, duration sim.Duration) string {
 	if len(points) == 0 {
 		return "(no points)\n"
+	}
+	if duration <= 0 {
+		// A zero-length trace would divide by zero below; pretend it spans
+		// one tick so the lone column still renders.
+		duration = 1
 	}
 	var maxV sim.Duration
 	for _, p := range points {

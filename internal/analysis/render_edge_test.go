@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// The renderers are fed from arbitrary traces (including truncated or
+// synthetic ones), so the degenerate shapes — nothing recorded, a single
+// event, zero-valued timeouts — must render rather than panic.
+
+func TestRenderScatterEmpty(t *testing.T) {
+	if got := RenderScatter(nil); got != "(no points)\n" {
+		t.Fatalf("RenderScatter(nil) = %q", got)
+	}
+}
+
+func TestRenderScatterZeroTimeout(t *testing.T) {
+	// A zero (or negative) timeout has no log-scale column; it must be
+	// skipped, not passed to math.Log10.
+	out := RenderScatter([]ScatterPoint{
+		{Timeout: 0, RatioPct: 50, Count: 5},
+		{Timeout: -sim.Second, RatioPct: 50, Count: 5},
+	})
+	for _, line := range strings.Split(out, "\n") {
+		_, cells, ok := strings.Cut(line, "|")
+		if ok && strings.TrimSpace(cells) != "" {
+			t.Fatalf("zero/negative timeouts should plot nothing, got:\n%s", out)
+		}
+	}
+}
+
+func TestRenderScatterSinglePoint(t *testing.T) {
+	out := RenderScatter([]ScatterPoint{{Timeout: sim.Second, RatioPct: 100, Count: 1}})
+	if !strings.Contains(out, ".") {
+		t.Fatalf("single point should produce one density glyph, got:\n%s", out)
+	}
+}
+
+func TestRenderSeriesEmpty(t *testing.T) {
+	if got := RenderSeries(nil, 0); got != "(no points)\n" {
+		t.Fatalf("RenderSeries(nil, 0) = %q", got)
+	}
+}
+
+func TestRenderSeriesZeroDuration(t *testing.T) {
+	// A single event at t=0 over a zero-length window used to divide by
+	// zero; it must render the lone column instead.
+	out := RenderSeries([]SeriesPoint{{T: 0, V: sim.Second}}, 0)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("expected the single point to render, got:\n%s", out)
+	}
+}
+
+func TestRenderSeriesSinglePointZeroValue(t *testing.T) {
+	// Value zero exercises the maxV==0 fallback.
+	out := RenderSeries([]SeriesPoint{{T: 0, V: 0}}, sim.Second)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("expected the single zero-value point to render, got:\n%s", out)
+	}
+}
+
+func TestRenderValuesEmpty(t *testing.T) {
+	out := RenderValues(nil)
+	if !strings.Contains(out, "timeout[s]") || strings.Count(out, "\n") != 1 {
+		t.Fatalf("empty histogram should be header-only, got:\n%s", out)
+	}
+}
+
+func TestSummarizeEmptyTrace(t *testing.T) {
+	s := Summarize(trace.NewBuffer(16))
+	if s.Accesses != 0 || s.Timers != 0 {
+		t.Fatalf("empty trace summary = %+v", s)
+	}
+	out := RenderSummaryTable("empty", []string{"w"}, []Summary{s})
+	if !strings.Contains(out, "Accesses") {
+		t.Fatalf("summary table missing rows:\n%s", out)
+	}
+}

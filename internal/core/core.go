@@ -171,6 +171,11 @@ func (f *Facility) ArmChild(parent *Entry, origin string, spec Spec, fn func()) 
 }
 
 func (f *Facility) arm(e *Entry) {
+	if err := e.spec.Validate(); err != nil {
+		// Same contract as NewTicker: a malformed request is a programming
+		// error, not a runtime condition to limp past.
+		panic(err)
+	}
 	now := f.backend.Now()
 	e.earliest, e.latest = e.spec.window(now)
 	f.stats.Arms++
@@ -210,7 +215,7 @@ func (b *batch) retarget(t sim.Time) {
 	if t == b.at {
 		return
 	}
-	b.cancel()
+	_ = b.cancel()
 	b.at = t
 	b.cancel = b.f.backend.At(t, b.fire)
 }
@@ -265,7 +270,7 @@ func (e *Entry) remove() {
 		}
 	}
 	if len(b.entries) == 0 {
-		b.cancel()
+		_ = b.cancel()
 		e.f.dropBatch(b)
 	}
 }

@@ -62,7 +62,7 @@ func (t *Ticker) arm() {
 // Stop halts the ticker.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	t.f.Cancel(t.entry)
+	_ = t.f.Cancel(t.entry)
 }
 
 // RateTicker is the loosest periodic spec of Section 5.3: "every 5 minutes,
@@ -153,14 +153,14 @@ func (w *Watchdog) Kick() {
 	if w.stopped {
 		return
 	}
-	w.f.Cancel(w.entry)
+	_ = w.f.Cancel(w.entry)
 	w.arm()
 }
 
 // Stop disarms the watchdog.
 func (w *Watchdog) Stop() {
 	w.stopped = true
-	w.f.Cancel(w.entry)
+	_ = w.f.Cancel(w.entry)
 }
 
 // Delay is the delay pattern: "after time t, invoke function e" — the one
@@ -192,7 +192,7 @@ func (f *Facility) NewDeferred(origin string, interval, slack sim.Duration, fn f
 // Touch marks activity, deferring (or starting) the quiet-period timer.
 func (d *Deferred) Touch() {
 	if d.entry.Pending() {
-		d.f.Cancel(d.entry)
+		_ = d.f.Cancel(d.entry)
 	}
 	d.entry = d.f.Arm(d.origin, Window(d.interval, d.slack), func() {
 		d.Fires++

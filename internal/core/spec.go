@@ -31,6 +31,20 @@ func Window(d, slack sim.Duration) Spec { return Spec{After: d, Slack: slack} }
 // delay timer": a window with generous slack proportional to the delay.
 func AnyTimeAfter(d sim.Duration) Spec { return Spec{After: d, Slack: d / 4} }
 
+// Validate rejects nonsensical specs. A negative After or Slack is always a
+// caller bug (a subtraction that went past zero, an overflowed shift), and
+// silently clamping it to zero turns "fire in -5 s" into "fire immediately" —
+// exactly the class of unexamined timeout value Section 5.2 warns about.
+func (s Spec) Validate() error {
+	if s.After < 0 {
+		return fmt.Errorf("core: spec %v: negative After (%v)", s, s.After)
+	}
+	if s.Slack < 0 {
+		return fmt.Errorf("core: spec %v: negative Slack (%v)", s, s.Slack)
+	}
+	return nil
+}
+
 // window resolves the spec against now.
 func (s Spec) window(now sim.Time) (earliest, latest sim.Time) {
 	after := s.After

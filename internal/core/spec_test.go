@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"timerstudy/internal/sim"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Exact(0), true},
+		{Exact(sim.Second), true},
+		{Window(sim.Second, 200*sim.Millisecond), true},
+		{AnyTimeAfter(10 * sim.Minute), true},
+		{Exact(-sim.Second), false},
+		{Window(sim.Second, -sim.Millisecond), false},
+		{Window(-1, -1), false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestArmRejectsNegativeSpec(t *testing.T) {
+	// A negative delay is a caller bug (an underflowed subtraction); it must
+	// panic loudly at Arm rather than be silently clamped to "now".
+	for _, spec := range []Spec{Exact(-sim.Second), Window(0, -sim.Millisecond)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Arm(%v) did not panic", spec)
+				}
+			}()
+			_, f := newF()
+			f.Arm("bad", spec, func() {})
+		}()
+	}
+}
+
+func TestArmChildRejectsNegativeSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ArmChild with negative spec did not panic")
+		}
+	}()
+	_, f := newF()
+	parent := f.Arm("parent", Exact(sim.Minute), func() {})
+	f.ArmChild(parent, "child", Exact(-sim.Second), func() {})
+}

@@ -241,7 +241,7 @@ func (s *Scheduler) decide() {
 		}
 		if wake >= 0 && (s.idleEv == nil || !s.idleEv.Pending() || s.idleEv.When() > wake) {
 			if s.idleEv != nil && s.idleEv.Pending() {
-				s.eng.Cancel(s.idleEv)
+				_ = s.eng.Cancel(s.idleEv)
 			}
 			s.idleEv = s.eng.At(wake, "dispatch:wake", func() {
 				s.stats.Wakeups++

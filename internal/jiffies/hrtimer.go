@@ -71,7 +71,7 @@ func (h *HighRes) Start(t *HRTimer, d sim.Duration) {
 		d = 0
 	}
 	if t.Pending() {
-		h.eng.Cancel(t.ev)
+		_ = h.eng.Cancel(t.ev)
 	}
 	t.ev = h.eng.After(d, "hrtimer:"+t.Origin, func() {
 		h.tr.Log(trace.Record{
@@ -90,7 +90,7 @@ func (h *HighRes) Start(t *HRTimer, d sim.Duration) {
 func (h *HighRes) Cancel(t *HRTimer) bool {
 	active := t.Pending()
 	if active {
-		h.eng.Cancel(t.ev)
+		_ = h.eng.Cancel(t.ev)
 	}
 	h.tr.Log(trace.Record{
 		T: h.eng.Now(), Op: trace.OpCancel, TimerID: t.id,

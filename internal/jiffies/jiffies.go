@@ -268,7 +268,7 @@ func (b *Base) Del(t *Timer) bool {
 	t.gen++
 	active := t.state == StatePending
 	if active {
-		b.wheel.Cancel(&t.entry)
+		_ = b.wheel.Cancel(&t.entry)
 		t.state = StateIdle
 	}
 	if !t.Quiet {

@@ -234,7 +234,7 @@ func (p *Process) sysTimedBlock(t *jiffies.Timer, origin uint32, timeout sim.Dur
 		cb(SelectResult{TimedOut: true})
 	})
 	w.complete = func() {
-		l.base.Del(t)
+		_ = l.base.Del(t)
 		l.tr.Log(trace.Record{
 			T: l.eng.Now(), Op: trace.OpCancel, TimerID: t.ID(),
 			PID: p.PID, Origin: origin, Flags: trace.FlagUser | trace.FlagSatisfied,
@@ -267,7 +267,7 @@ func (p *Process) Alarm(d sim.Duration, onSignal func()) sim.Duration {
 	var remaining sim.Duration
 	if p.alarmTimer.Pending() {
 		remaining = jiffies.JiffiesToTime(p.alarmTimer.Expires()).Sub(l.eng.Now())
-		l.base.Del(p.alarmTimer)
+		_ = l.base.Del(p.alarmTimer)
 		l.tr.Log(trace.Record{
 			T: l.eng.Now(), Op: trace.OpCancel, TimerID: p.alarmTimer.ID(),
 			PID: p.PID, Origin: p.alarmOrigin, Flags: trace.FlagUser,
@@ -323,7 +323,7 @@ func (pt *PosixTimer) Settime(value, interval sim.Duration) {
 	pt.interval = interval
 	if value <= 0 {
 		if pt.t.Pending() {
-			l.base.Del(pt.t)
+			_ = l.base.Del(pt.t)
 			l.tr.Log(trace.Record{
 				T: l.eng.Now(), Op: trace.OpCancel, TimerID: pt.t.ID(),
 				PID: pt.p.PID, Origin: pt.origin, Flags: trace.FlagUser,
@@ -361,7 +361,7 @@ func (pt *PosixTimer) expire() {
 // Delete is timer_delete: disarm and invalidate.
 func (pt *PosixTimer) Delete() {
 	if pt.t.Pending() {
-		pt.p.l.base.Del(pt.t)
+		_ = pt.p.l.base.Del(pt.t)
 		pt.p.l.tr.Log(trace.Record{
 			T: pt.p.l.eng.Now(), Op: trace.OpCancel, TimerID: pt.t.ID(),
 			PID: pt.p.PID, Origin: pt.origin, Flags: trace.FlagUser,
@@ -385,7 +385,7 @@ func (l *Linux) ScheduleTimeout(origin string, d sim.Duration, cb func(timedOut 
 		cb(true)
 	})
 	w.complete = func() {
-		l.base.Del(t)
+		_ = l.base.Del(t)
 		cb(false)
 	}
 	l.base.ModTimeout(t, d)

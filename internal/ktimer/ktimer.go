@@ -216,7 +216,7 @@ func (k *Kernel) SetTimerIn(t *KTimer, d sim.Duration, period sim.Duration) {
 func (k *Kernel) CancelTimer(t *KTimer) bool {
 	active := t.entry.Pending()
 	if active {
-		k.table.Cancel(&t.entry)
+		_ = k.table.Cancel(&t.entry)
 	}
 	k.tr.Log(trace.Record{
 		T: k.eng.Now(), Op: trace.OpCancel, TimerID: t.id,

@@ -115,7 +115,7 @@ func (w *wait) satisfy(k *Kernel) {
 	// Cancel the wait timer; the FlagSatisfied cancel record is how the
 	// Vista instrumentation distinguishes satisfied waits from timeouts.
 	if th.waitTimer.Pending() {
-		k.table.Cancel(&th.waitTimer.entry)
+		_ = k.table.Cancel(&th.waitTimer.entry)
 	}
 	k.tr.Log(trace.Record{
 		T: k.eng.Now(), Op: trace.OpCancel, TimerID: th.waitTimer.id,

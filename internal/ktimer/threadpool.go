@@ -110,7 +110,7 @@ func (t *TPTimer) Cancel() bool {
 func (p *Pool) rearmKernelTimer() {
 	if len(p.timers) == 0 {
 		if p.kt.Pending() {
-			p.k.CancelTimer(p.kt)
+			_ = p.k.CancelTimer(p.kt)
 		}
 		return
 	}

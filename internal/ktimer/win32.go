@@ -49,7 +49,7 @@ func (k *Kernel) NewMessageQueue(pid int32, processName string) *MessageQueue {
 func (q *MessageQueue) SetTimer(id int, elapse sim.Duration, proc func()) {
 	if old, ok := q.timers[id]; ok {
 		old.dead = true
-		q.k.CancelTimer(old.kt)
+		_ = q.k.CancelTimer(old.kt)
 	}
 	// USER clamps tiny periods (real minimum is USER_TIMER_MINIMUM=10 ms;
 	// Vista-era apps routinely pass 1 ms and get clock-granularity ticks,
@@ -73,7 +73,7 @@ func (q *MessageQueue) KillTimer(id int) bool {
 	}
 	g.dead = true
 	delete(q.timers, id)
-	q.k.CancelTimer(g.kt)
+	_ = q.k.CancelTimer(g.kt)
 	return true
 }
 
@@ -120,7 +120,7 @@ func (k *Kernel) AfdSelect(pid int32, processName string, timeout sim.Duration, 
 			return
 		}
 		done = true
-		k.CancelTimer(t)
+		_ = k.CancelTimer(t)
 		cb(false)
 	}
 }

@@ -30,7 +30,7 @@ func (a *coreFacilityAdapter) Now() sim.Time { return a.f.Now() }
 
 func (h *coreHandle) Arm(d sim.Duration) {
 	if h.entry.Pending() {
-		h.f.Cancel(h.entry)
+		_ = h.f.Cancel(h.entry)
 	}
 	h.entry = h.f.Arm(h.origin, core.Exact(d), h.fn)
 }
@@ -43,7 +43,7 @@ func (h *coreHandle) Pending() bool { return h.entry.Pending() }
 
 func (h *coreHandle) Release() {
 	if h.entry.Pending() {
-		h.f.Cancel(h.entry)
+		_ = h.f.Cancel(h.entry)
 	}
 }
 
@@ -69,7 +69,7 @@ func (f *nullFacility) Now() sim.Time { return f.eng.Now() }
 
 func (h *nullHandle) Arm(d sim.Duration) {
 	if h.ev != nil && h.ev.Pending() {
-		h.eng.Cancel(h.ev)
+		_ = h.eng.Cancel(h.ev)
 	}
 	h.ev = h.eng.After(d, "null-timer", h.fn)
 }
@@ -83,4 +83,4 @@ func (h *nullHandle) Stop() bool {
 
 func (h *nullHandle) Pending() bool { return h.ev != nil && h.ev.Pending() }
 
-func (h *nullHandle) Release() { h.Stop() }
+func (h *nullHandle) Release() { _ = h.Stop() }

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"timerstudy/internal/sim"
+)
+
+// corePkgPath declares Exact/Window/AnyTimeAfter.
+const corePkgPath = "timerstudy/internal/core"
+
+// exactSpecThreshold is the delay above which Exact forgoes meaningful
+// coalescing. The paper's Section 5.3 evaluation shows expirations cluster
+// when second-scale timeouts get even modest slack; below one second the
+// firing-accuracy cost of a window starts to matter, so short Exact specs
+// pass.
+const exactSpecThreshold = sim.Duration(1 * sim.Second)
+
+// ExactSpec flags core.Exact calls with a large compile-time-constant delay:
+// an exact deadline at that scale defeats the Section 5.3 coalescing
+// redesign. Use Window/AnyTimeAfter, or suppress with the reason the
+// deadline is genuinely rigid.
+var ExactSpec = &Analyzer{
+	Name: "exactspec",
+	Doc: "core.Exact with a second-scale constant delay defeats timer " +
+		"coalescing; use Window or AnyTimeAfter (paper Section 5.3)",
+	Run: runExactSpec,
+}
+
+func runExactSpec(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if !isCoreExact(pass, call.Fun) {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil {
+				return true // runtime-computed deadlines are a policy decision
+			}
+			v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+			if !ok || sim.Duration(v) < exactSpecThreshold {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"Exact(%v) forbids coalescing at a scale where slack is nearly free; use Window(%v, slack) or AnyTimeAfter(%v)",
+				sim.Duration(v), sim.Duration(v), sim.Duration(v))
+			return true
+		})
+	}
+}
+
+// isCoreExact reports whether fun resolves to the Exact function declared in
+// internal/core (matched by object, so aliases and dot-imports still hit).
+func isCoreExact(pass *Pass, fun ast.Expr) bool {
+	var id *ast.Ident
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	return ok && fn.Name() == "Exact" && fn.Pkg() != nil && fn.Pkg().Path() == corePkgPath
+}

@@ -1,0 +1,180 @@
+// Package lint is a from-scratch static-analysis framework on the standard
+// library's go/ast, go/parser and go/types — no external dependencies — that
+// turns the paper's measurement taxonomy into machine-checked invariants over
+// this repository itself.
+//
+// The paper's central Section 4 result is that timeout values are
+// overwhelmingly fixed, human-chosen round numbers with no recorded
+// provenance. A reproduction of that study accumulating its own unexplained
+// `3*sim.Second` literals would be self-refuting, so the lint pass polices
+// four domain invariants:
+//
+//   - magictimeout: hard-coded sim.Duration values used as timeout arguments
+//     must live in a provenance-annotated constants registry, and each
+//     finding is classified into the paper's round-number taxonomy
+//     (power-of-ten, round seconds, binary jiffies, ...).
+//   - wallclock: internal packages must not touch the host clock
+//     (time.Now/Sleep/After) or the unseeded math/rand global source — the
+//     whole reproduction depends on deterministic virtual time.
+//   - uncheckedcancel: the boolean result of Cancel/Del/Stop-shaped calls
+//     distinguishes canceled-while-pending from already-expired (the
+//     Section 3 lifecycle distinction) and must not be silently dropped.
+//   - exactspec: core.Exact with a large constant delay forgoes the
+//     Section 5.3 coalescing windows; Window/AnyTimeAfter (or a reasoned
+//     suppression) is required.
+//
+// Diagnostics are position-accurate and can be suppressed at the offending
+// line (or the line above it) with:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// where <analyzer> is one of the analyzer names (or "all") and <reason> is a
+// mandatory human explanation — an unsuppressed echo of the paper's
+// provenance proposal (Section 5.2).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at a token in a source file.
+type Diagnostic struct {
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string `json:"analyzer"`
+	// Category is an analyzer-specific classification; for magictimeout it
+	// is the paper's round-number taxonomy class.
+	Category string `json:"category,omitempty"`
+	// Pos locates the finding.
+	Pos token.Position `json:"-"`
+	// File/Line/Col are the JSON-friendly projection of Pos.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message states the violation and the expected fix.
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	msg := d.Message
+	if d.Category != "" {
+		msg = fmt.Sprintf("%s [%s]", msg, d.Category)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, msg)
+}
+
+// Analyzer is one lint pass: a name (used in diagnostics and suppression
+// directives), a one-paragraph doc, and a Run function applied per package.
+type Analyzer struct {
+	// Name is the analyzer identifier ("magictimeout", ...).
+	Name string
+	// Doc describes the invariant the analyzer enforces.
+	Doc string
+	// Run inspects one type-checked package and reports findings.
+	Run func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) execution context handed to Run.
+type Pass struct {
+	// Analyzer is the pass being run.
+	Analyzer *Analyzer
+	// Fset maps positions; shared across all packages of a load.
+	Fset *token.FileSet
+	// Pkg is the loaded, type-checked package under inspection.
+	Pkg *Package
+	// report collects diagnostics (suppression is applied by the runner).
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report("", pos, format, args...)
+}
+
+// Report records a finding with an explicit category.
+func (p *Pass) Report(category string, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression in the package under inspection.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzer string // analyzer name or "all"
+	reason   string
+	line     int
+	used     bool
+}
+
+// suppressions indexes a package's ignore directives by file.
+type suppressions struct {
+	byFile map[string][]*ignoreDirective
+	// malformed collects directives missing an analyzer or reason; they are
+	// themselves reported, so a typo cannot silently disable a check.
+	malformed []Diagnostic
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions scans a package's comments for ignore directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byFile: map[string][]*ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.SplitN(rest, " ", 2)
+				if len(fields) < 2 || strings.TrimSpace(fields[1]) == "" {
+					s.malformed = append(s.malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				s.byFile[pos.Filename] = append(s.byFile[pos.Filename], &ignoreDirective{
+					analyzer: fields[0],
+					reason:   strings.TrimSpace(fields[1]),
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return s
+}
+
+// suppresses reports whether d is covered by a directive on its own line or
+// the line directly above, for the matching analyzer (or "all").
+func (s *suppressions) suppresses(d Diagnostic) bool {
+	for _, dir := range s.byFile[d.File] {
+		if dir.line != d.Line && dir.line != d.Line-1 {
+			continue
+		}
+		if dir.analyzer == "all" || dir.analyzer == d.Analyzer {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}

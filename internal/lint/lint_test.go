@@ -1,0 +1,159 @@
+package lint_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"timerstudy/internal/lint"
+)
+
+// fixtures maps each testdata fixture directory to the import path the
+// harness loads it under; paths are chosen to land on the tree each
+// analyzer polices.
+var fixtures = []struct {
+	dir string
+	as  string
+}{
+	{"magictimeout", "timerstudy/internal/workloads/lintfixture"},
+	{"wallclock", "timerstudy/internal/lintfixture/wall"},
+	{"uncheckedcancel", "timerstudy/internal/lintfixture/cancel"},
+	{"exactspec", "timerstudy/internal/lintfixture/exact"},
+}
+
+// wantRe matches expectation comments:
+//
+//	// want:<analyzer> "substring"        — finding expected on this line
+//	// want+2:<analyzer> "substring"      — finding expected two lines below
+var wantRe = regexp.MustCompile(`// want([+-][0-9]+)?:([a-z]+) "([^"]*)"`)
+
+type expectation struct {
+	file     string // base name
+	line     int
+	analyzer string
+	substr   string
+	met      bool
+}
+
+func collectExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*expectation
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for lineNo := 1; sc.Scan(); lineNo++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				offset := 0
+				if m[1] != "" {
+					offset, err = strconv.Atoi(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want offset %q", e.Name(), lineNo, m[1])
+					}
+				}
+				out = append(out, &expectation{
+					file:     e.Name(),
+					line:     lineNo + offset,
+					analyzer: m[2],
+					substr:   m[3],
+				})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return out
+}
+
+func TestFixtures(t *testing.T) {
+	for _, fx := range fixtures {
+		t.Run(fx.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", fx.dir)
+			loader, err := lint.NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := loader.LoadDirAs(dir, fx.as)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := lint.Run(loader, []*lint.Package{pkg}, lint.Analyzers())
+
+			wants := collectExpectations(t, dir)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s declares no expectations", fx.dir)
+			}
+			for _, d := range ds {
+				if !matchExpectation(wants, d) {
+					t.Errorf("unexpected finding: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.met {
+					t.Errorf("missing finding: %s:%d: %s: ...%s...", w.file, w.line, w.analyzer, w.substr)
+				}
+			}
+		})
+	}
+}
+
+func matchExpectation(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.met || w.file != filepath.Base(d.File) || w.line != d.Line || w.analyzer != d.Analyzer {
+			continue
+		}
+		if !strings.Contains(d.String(), w.substr) {
+			continue
+		}
+		w.met = true
+		return true
+	}
+	return false
+}
+
+// TestMagicTimeoutCategories pins the taxonomy classification the analyzer
+// attaches to representative values from the paper's Section 4 tables.
+func TestMagicTimeoutCategories(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", "magictimeout"), "timerstudy/cmd/lintfixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := lint.Run(loader, []*lint.Package{pkg}, lint.Analyzers())
+	got := map[string]string{}
+	for _, d := range ds {
+		if d.Analyzer == "magictimeout" && d.Category != "" {
+			got[fmt.Sprintf("%s:%d", filepath.Base(d.File), d.Line)] = d.Category
+		}
+	}
+	want := map[string]string{
+		"magic.go:14": "round-seconds",        // 30s
+		"magic.go:18": "power-of-ten",         // 100ms
+		"magic.go:19": "small-jiffy-multiple", // 12ms = 3 jiffies
+		"magic.go:20": "power-of-ten",         // 10s
+	}
+	for key, cat := range want {
+		if got[key] != cat {
+			t.Errorf("%s: category = %q, want %q", key, got[key], cat)
+		}
+	}
+}

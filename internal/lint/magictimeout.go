@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"timerstudy/internal/sim"
+)
+
+// simPkgPath is the package whose Duration type and unit constants define
+// "a timeout value" throughout the module.
+const simPkgPath = "timerstudy/internal/sim"
+
+// magicPoliced are the import-path prefixes magictimeout polices: the trees
+// the study's own Section 4 critique applies to. Library packages (core,
+// kernel, ktimer, ...) model *foreign* systems whose constants are the
+// object of study, not configuration of ours.
+var magicPoliced = []string{
+	"timerstudy/internal/workloads",
+	"timerstudy/examples/",
+	"timerstudy/cmd/",
+}
+
+// registryFile is the per-package constants registry magictimeout steers
+// timeout values into; every constant there must carry a provenance comment.
+const registryFile = "timeouts.go"
+
+// timeoutParamExact and timeoutParamSubstrings decide whether a callee
+// parameter is timeout-shaped. Matching is by the parameter's declared name,
+// which go/types preserves: `Poll(timeout sim.Duration, ...)` matches,
+// `exp(mean sim.Duration)` does not — a think-time distribution mean is a
+// modeling parameter, not a timeout anyone waits on.
+var (
+	timeoutParamExact = map[string]bool{
+		"d": true, "d1": true, "d2": true, "to": true,
+		"dur": true, "duration": true, "after": true,
+	}
+	timeoutParamSubstrings = []string{
+		"timeout", "period", "interval", "deadline", "delay",
+		"slack", "window", "due", "elapse", "value", "every", "budget",
+	}
+)
+
+// MagicTimeout flags hard-coded sim.Duration constants passed as timeout
+// arguments outside the timeouts.go registry, classifying each into the
+// paper's round-number taxonomy, and requires every registry constant to
+// carry a provenance comment.
+var MagicTimeout = &Analyzer{
+	Name: "magictimeout",
+	Doc: "hard-coded timeout values must live in a provenance-annotated " +
+		"timeouts.go registry (paper Section 4 / 5.2)",
+	Run: runMagicTimeout,
+}
+
+func runMagicTimeout(pass *Pass) {
+	if !pathHasPrefix(pass.Pkg.Path, magicPoliced) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) == registryFile {
+			checkRegistryProvenance(pass, f)
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCallTimeouts(pass, call)
+			return true
+		})
+	}
+}
+
+// checkCallTimeouts flags constant literal-bearing Duration arguments bound
+// to timeout-shaped parameters of call.
+func checkCallTimeouts(pass *Pass, call *ast.CallExpr) {
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramAt(sig, i)
+		if param == nil || !isSimDuration(param.Type()) {
+			continue
+		}
+		if param.Name() != "" && !timeoutParamName(param.Name()) {
+			continue
+		}
+		tv, ok := pass.Pkg.Info.Types[arg]
+		if !ok || tv.Value == nil {
+			continue // runtime-computed values are decisions, not magic
+		}
+		v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+		if !ok || v == 0 {
+			continue // zero means "non-blocking", a semantic, not a value
+		}
+		if !containsMagicToken(pass, arg) {
+			continue // a named registry constant reference is the goal state
+		}
+		pass.Report(classifyTimeout(sim.Duration(v)), arg.Pos(),
+			"hard-coded timeout %v passed as parameter %q of %s; name it in the %s registry with a provenance comment",
+			sim.Duration(v), param.Name(), calleeLabel(call), registryFile)
+	}
+}
+
+// calleeSignature resolves the called function's signature, returning nil
+// for type conversions and non-function calls.
+func calleeSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramAt returns the parameter an argument index binds to, folding
+// variadic tails onto the last parameter's element type holder.
+func paramAt(sig *types.Signature, i int) *types.Var {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		// The variadic slot: its type is a slice; timeout parameters are
+		// never variadic in this module, so skip it.
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i)
+}
+
+// isSimDuration reports whether t is (an alias of) sim.Duration.
+func isSimDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == simPkgPath
+}
+
+// timeoutParamName reports whether a parameter name is timeout-shaped.
+func timeoutParamName(name string) bool {
+	lower := strings.ToLower(name)
+	if timeoutParamExact[lower] || strings.HasSuffix(lower, "to") {
+		return true
+	}
+	for _, sub := range timeoutParamSubstrings {
+		if strings.Contains(lower, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsMagicToken reports whether expr syntactically contains a numeric
+// literal or a bare sim time-unit constant (sim.Second, ...). References to
+// named constants declared elsewhere — the registry — contain neither.
+func containsMagicToken(pass *Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.INT || n.Kind == token.FLOAT {
+				found = true
+			}
+		case *ast.Ident:
+			if obj, ok := pass.Pkg.Info.Uses[n]; ok && isSimUnitConst(obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSimUnitConst reports whether obj is one of sim's duration unit
+// constants.
+func isSimUnitConst(obj types.Object) bool {
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != simPkgPath {
+		return false
+	}
+	switch c.Name() {
+	case "Nanosecond", "Microsecond", "Millisecond", "Second", "Minute", "Hour":
+		return true
+	}
+	return false
+}
+
+// calleeLabel renders the call target for diagnostics.
+func calleeLabel(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}
+
+// Paper Section 4 round-number taxonomy. Jiffy arithmetic uses the Linux
+// personality's HZ=250 tick (4 ms), the configuration the study traced.
+const lintJiffy = 4 * sim.Millisecond
+
+// classifyTimeout maps a duration onto the paper's taxonomy of human-chosen
+// values. Order matters: the most specific (and most telling) class wins.
+func classifyTimeout(d sim.Duration) string {
+	if d < 0 {
+		d = -d
+	}
+	switch {
+	case isPowerOfTen(int64(d)):
+		// 1 ms, 10 ms, ..., 1 s, 10 s, 100 s: a digit-1-and-zeros value in
+		// *some* decimal unit — the paper's dominant pattern.
+		return "power-of-ten"
+	case d%sim.Minute == 0:
+		return "round-minutes"
+	case d%sim.Second == 0:
+		return "round-seconds"
+	case d%lintJiffy == 0 && isPowerOfTwo(int64(d/lintJiffy)):
+		return "binary-jiffies"
+	case d%lintJiffy == 0 && d <= 100*lintJiffy:
+		return "small-jiffy-multiple"
+	case d%sim.Millisecond == 0:
+		return "round-millis"
+	case d < sim.Millisecond:
+		return "sub-jiffy"
+	default:
+		return "irregular"
+	}
+}
+
+func isPowerOfTen(v int64) bool {
+	if v <= 0 {
+		return false
+	}
+	for v%10 == 0 {
+		v /= 10
+	}
+	return v == 1
+}
+
+func isPowerOfTwo(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+// checkRegistryProvenance requires every constant in a timeouts.go registry
+// to carry a comment stating where its value comes from (Section 5.2's
+// provenance proposal applied to our own configuration).
+func checkRegistryProvenance(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if vs.Doc.Text() == "" && vs.Comment.Text() == "" && (len(gd.Specs) > 1 || gd.Doc.Text() == "") {
+				for _, name := range vs.Names {
+					pass.Reportf(name.Pos(),
+						"registry constant %s has no provenance comment (why this value? where does it come from?)",
+						name.Name)
+				}
+			}
+		}
+	}
+}
+
+// pathHasPrefix reports whether path is equal to or below any of the
+// prefixes (entries ending in "/" match subtrees only).
+func pathHasPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasSuffix(p, "/") {
+			if strings.HasPrefix(path, p) {
+				return true
+			}
+			continue
+		}
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

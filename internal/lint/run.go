@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzers returns the full analyzer suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MagicTimeout, WallClock, UncheckedCancel, ExactSpec}
+}
+
+// Run applies the analyzers to the packages, filters suppressed findings,
+// reports malformed and unused suppression directives, and returns the
+// surviving diagnostics sorted by position.
+func Run(fsetOwner *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	fset := fsetOwner.Fset()
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(fset, pkg.Files)
+		out = append(out, sup.malformed...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if !sup.suppresses(d) {
+				out = append(out, d)
+			}
+		}
+		// A directive nothing matched is stale: either the violation is gone
+		// or the analyzer name is wrong. Both deserve a finding.
+		for file, dirs := range sup.byFile {
+			for _, dir := range dirs {
+				if !dir.used && analyzerKnown(analyzers, dir.analyzer) {
+					out = append(out, Diagnostic{
+						Analyzer: "lint",
+						File:     file,
+						Line:     dir.line,
+						Col:      1,
+						Message:  "unused //lint:ignore " + dir.analyzer + " directive (no matching finding on this or the next line)",
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+func analyzerKnown(analyzers []*Analyzer, name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Relativize rewrites diagnostic file paths relative to root, for stable
+// output across machines.
+func Relativize(root string, ds []Diagnostic) {
+	for i := range ds {
+		if rel, err := filepath.Rel(root, ds[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			ds[i].File = rel
+		}
+	}
+}
+
+// Text renders diagnostics one per line in file:line:col form.
+func Text(ds []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// JSON renders diagnostics as an indented JSON array.
+func JSON(ds []Diagnostic) ([]byte, error) {
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	return json.MarshalIndent(ds, "", "  ")
+}

@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"timerstudy/internal/lint"
+)
+
+// TestSelfRunClean is the golden invariant: the repo lints itself clean.
+// Every hard-coded sim.Duration lives in a provenance-annotated timeouts.go,
+// no internal package reads the wall clock, no cancel result is silently
+// dropped, and every large Exact spec carries a reasoned suppression. A
+// failure here means a new finding slipped in — fix it or suppress it with
+// a //lint:ignore line explaining why.
+func TestSelfRunClean(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := lint.Run(loader, pkgs, lint.Analyzers())
+	if len(ds) != 0 {
+		var b strings.Builder
+		for _, d := range ds {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		t.Fatalf("timerlint found %d finding(s) in the repo:\n%s", len(ds), b.String())
+	}
+}

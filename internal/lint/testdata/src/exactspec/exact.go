@@ -1,0 +1,19 @@
+// Package exactfix exercises the exactspec analyzer.
+package exactfix
+
+import (
+	"timerstudy/internal/core"
+	"timerstudy/internal/sim"
+)
+
+func specs(deadline sim.Duration) []core.Spec {
+	return []core.Spec{
+		core.Exact(30 * sim.Second),       // want:exactspec "Exact(30s) forbids coalescing"
+		core.Exact(500 * sim.Millisecond), // sub-second accuracy need: clean
+		core.Exact(deadline),              // runtime policy decision: clean
+		core.Window(30*sim.Second, 3*sim.Second),
+		core.AnyTimeAfter(2 * sim.Minute),
+		//lint:ignore exactspec fixture: a genuinely rigid deadline
+		core.Exact(10 * sim.Second),
+	}
+}

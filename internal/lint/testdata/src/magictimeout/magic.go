@@ -1,0 +1,40 @@
+// Package magic exercises the magictimeout analyzer. The test harness loads
+// it under a policed import path; `// want[+N]:<analyzer> "substring"`
+// comments state the expected diagnostics.
+package magic
+
+import "timerstudy/internal/sim"
+
+func poll(timeout sim.Duration) {}
+func think(mean sim.Duration)   {}
+func run(d sim.Duration)        {}
+func led(blinkTO sim.Duration)  {}
+
+func calls() {
+	poll(30 * sim.Second)      // want:magictimeout "hard-coded timeout 30s"
+	poll(retryBudget)          // named registry constant: clean
+	poll(0)                    // zero means non-blocking: clean
+	think(2 * sim.Second)      // a distribution mean is not a timeout: clean
+	run(100 * sim.Millisecond) // want:magictimeout "hard-coded timeout 100ms"
+	led(3 * lintFixtureJiffy)  // want:magictimeout "hard-coded timeout 12ms"
+	poll(2 * retryBudget)      // want:magictimeout "hard-coded timeout 10s"
+	//lint:ignore magictimeout fixture demonstrates a reasoned suppression
+	poll(5 * sim.Second)
+	poll(variable()) // runtime-computed: clean
+}
+
+// lintFixtureJiffy is a local constant built from a unit token, so uses of
+// it still count as magic.
+const lintFixtureJiffy = 4 * sim.Millisecond
+
+func variable() sim.Duration { return retryBudget }
+
+// want+2:lint "malformed //lint:ignore"
+//
+//lint:ignore magictimeout
+var _ = 0
+
+// want+2:lint "unused //lint:ignore"
+//
+//lint:ignore wallclock nothing on the next line violates wallclock
+var _ = 1

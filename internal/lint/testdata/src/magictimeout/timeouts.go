@@ -1,0 +1,14 @@
+package magic
+
+import "timerstudy/internal/sim"
+
+const (
+	// retryBudget: fixture stand-in for a provenance-annotated registry value.
+	retryBudget = 5 * sim.Second
+
+	// want+2:magictimeout "no provenance comment"
+
+	undocumented = 7 * sim.Second
+)
+
+var _ = undocumented

@@ -1,0 +1,23 @@
+// Package cancelfix exercises the uncheckedcancel analyzer.
+package cancelfix
+
+type timer struct{}
+
+func (timer) Cancel() bool        { return true }
+func (timer) DelTimer() bool      { return false }
+func (timer) KeCancelTimer() bool { return true }
+func (timer) Stop()               {}
+func (timer) Close() bool         { return true }
+
+func use(t timer) {
+	t.Cancel()           // want:uncheckedcancel "result of Cancel dropped"
+	defer t.DelTimer()   // want:uncheckedcancel "result of DelTimer dropped"
+	go t.KeCancelTimer() // want:uncheckedcancel "result of KeCancelTimer dropped"
+
+	_ = t.Cancel() // explicit discard acknowledges the race: clean
+	if t.Cancel() {
+		return
+	}
+	t.Stop()  // no result to drop: clean
+	t.Close() // not a cancel-shaped name: clean
+}

@@ -1,0 +1,23 @@
+// Package wall exercises the wallclock analyzer. The harness loads it under
+// a timerstudy/internal/... import path, where host-clock access is banned.
+package wall
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	time.Sleep(time.Millisecond) // want:wallclock "time.Sleep reads the host clock"
+	<-time.After(time.Second)    // want:wallclock "time.After reads the host clock"
+	return time.Now()            // want:wallclock "time.Now reads the host clock"
+}
+
+func draw() int {
+	r := rand.New(rand.NewSource(42)) // explicit seed: clean
+	n := r.Intn(6)                    // method on seeded *rand.Rand: clean
+	return n + rand.Intn(6)           // want:wallclock "rand.Intn uses the unseeded global source"
+}
+
+// elapsed uses only time's types and constants, which are pure values.
+func elapsed(d time.Duration) bool { return d > 3*time.Millisecond }

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// cancelNames are the case-folded method/function names whose boolean result
+// encodes the paper's Section 3 lifecycle distinction: true means the timer
+// was still pending and is now canceled; false means it already expired (or
+// never existed) and its callback may have run. Dropping that bit is how
+// cancel/expiry races are born.
+var cancelNames = map[string]bool{
+	"cancel":        true,
+	"canceltimer":   true,
+	"ntcanceltimer": true,
+	"kecanceltimer": true,
+	"deltimer":      true,
+	"del":           true,
+	"killtimer":     true,
+	"stop":          true,
+	"done":          true,
+}
+
+// UncheckedCancel flags statements that call a Cancel/Del/Stop-shaped
+// function returning a single bool and discard the result. Use the value, or
+// write `_ = x.Cancel()` to acknowledge the race explicitly.
+var UncheckedCancel = &Analyzer{
+	Name: "uncheckedcancel",
+	Doc: "the bool result of Cancel/DelTimer/Stop-shaped calls distinguishes " +
+		"pending from expired and must not be silently dropped",
+	Run: runUncheckedCancel,
+}
+
+func runUncheckedCancel(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = stmt.Call
+			case *ast.DeferStmt:
+				call = stmt.Call
+			}
+			if call == nil {
+				return true
+			}
+			name := callName(call)
+			if name == "" || !cancelNames[strings.ToLower(name)] {
+				return true
+			}
+			if !returnsSingleBool(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s dropped: the bool distinguishes canceled-while-pending from already-expired; use it or write `_ = %s(...)`",
+				name, name)
+			return true
+		})
+	}
+}
+
+// callName extracts the bare called name from direct and selector calls.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// returnsSingleBool reports whether the call's static type is exactly one
+// untyped-bool-compatible result.
+func returnsSingleBool(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallClockPoliced is the tree wallclock polices: every internal package is
+// part of the deterministic simulation and must route time and randomness
+// through the seeded sim engine. cmd/ and examples/ are hosts that may
+// legitimately measure wall time (e.g. benchmark harness self-timing).
+const wallClockPoliced = "timerstudy/internal/"
+
+// forbiddenTimeFuncs are package time functions that read or wait on the
+// host clock. Pure types/constants (time.Duration, time.Millisecond) are
+// fine — only the functions leak nondeterminism.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	"Since": true, "Until": true,
+}
+
+// allowedRandFuncs are the math/rand constructors that accept an explicit
+// Source or seed; everything else at package level uses the shared global
+// source, whose default seeding breaks run-to-run reproducibility.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// WallClock forbids host-clock reads and unseeded global math/rand use in
+// internal packages: the reproduction's results are only meaningful if every
+// run over the same seed produces the same virtual-time trace.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "internal packages must use virtual sim time and seeded randomness, " +
+		"never time.Now/Sleep/After or global math/rand",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) {
+	if !strings.HasPrefix(pass.Pkg.Path, wallClockPoliced) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTimeFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"time.%s reads the host clock; internal packages must use the virtual sim clock (sim.Engine)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				sig, _ := fn.Type().(*types.Signature)
+				if sig != nil && sig.Recv() == nil && !allowedRandFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"rand.%s uses the unseeded global source; draw from the engine's seeded *rand.Rand instead",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -109,14 +109,14 @@ func (a *arpCache) solicit(e *arpEntry) {
 func (a *arpCache) observed(host string) {
 	e := a.entry(host)
 	if (e.state == arpStale || e.state == arpProbing) && e.timer.Pending() {
-		e.timer.Stop()
+		_ = e.timer.Stop()
 	}
 	wasIncomplete := e.state == arpIncomplete
 	e.state = arpReachable
 	e.confirmedAt = a.s.fac.Now()
 	if wasIncomplete {
 		if e.timer.Pending() {
-			e.timer.Stop()
+			_ = e.timer.Stop()
 		}
 		waiting := e.waiting
 		e.waiting = nil

@@ -83,7 +83,7 @@ func (h *linuxHandle) Pending() bool      { return h.t.Pending() }
 
 func (h *linuxHandle) Release() {
 	if h.t.Pending() {
-		h.f.Base.Del(h.t)
+		_ = h.f.Base.Del(h.t)
 	}
 	if h.f.slab == nil {
 		h.f.slab = make(map[string][]*jiffies.Timer)
@@ -125,7 +125,7 @@ func (h *vistaHandle) Pending() bool      { return h.t.Pending() }
 
 func (h *vistaHandle) Release() {
 	if h.t.Pending() {
-		h.k.CancelTimer(h.t)
+		_ = h.k.CancelTimer(h.t)
 	}
 	// Dynamically allocated and never reused: drop it.
 }

@@ -333,7 +333,7 @@ func (c *Conn) pump() {
 	m.sentAt = c.stack.fac.Now()
 	// Data carries a cumulative ACK: cancel a pending delayed ACK.
 	if c.ackPending {
-		c.delackTimer.Stop()
+		_ = c.delackTimer.Stop()
 		c.ackPending = false
 	}
 	c.transmit(segment{kind: segDATA, seq: m.seq, size: m.size + headerSize, payload: m.payload})
@@ -457,11 +457,11 @@ func (c *Conn) teardown() {
 	c.state = stateClosed
 	c.inflight = nil
 	c.sendq = nil
-	c.retransTimer.Stop()
-	c.delackTimer.Stop()
-	c.persistTimer.Stop()
+	_ = c.retransTimer.Stop()
+	_ = c.delackTimer.Stop()
+	_ = c.persistTimer.Stop()
 	if c.stack.KeepaliveEnabled {
-		c.keepaliveTimer.Stop()
+		_ = c.keepaliveTimer.Stop()
 	}
 	// The socket dies; its embedded timer structs go back to the slab.
 	c.retransTimer.Release()
@@ -515,7 +515,7 @@ func (s *Stack) receiveSegment(from string, seg segment) {
 		c.transmit(segment{kind: segSYNACK, size: headerSize})
 	case segSYNACK:
 		if c.state == stateSynSent {
-			c.retransTimer.Stop()
+			_ = c.retransTimer.Stop()
 			rtt := s.fac.Now().Sub(c.synSent)
 			if c.synRetries == 0 {
 				c.est.Observe(rtt)
@@ -594,7 +594,7 @@ func (c *Conn) noteWindow(seg segment) {
 	if wasClosed && !c.peerClosed {
 		c.persistShift = 0
 		if c.persistTimer.Pending() {
-			c.persistTimer.Stop()
+			_ = c.persistTimer.Stop()
 		}
 		c.pump()
 	}
@@ -636,7 +636,7 @@ func (c *Conn) processAck(ack uint64) {
 	}
 	m := c.inflight
 	c.inflight = nil
-	c.retransTimer.Stop()
+	_ = c.retransTimer.Stop()
 	if m.retrans == 0 { // Karn's rule
 		c.est.Observe(c.stack.fac.Now().Sub(m.sentAt))
 	}

@@ -106,7 +106,7 @@ func (f *Facility) Cancel(t *Timer) bool {
 	heap.Remove(&f.q, t.index)
 	f.stats.Canceled++
 	if len(f.q) == 0 && f.overEv != nil && f.overEv.Pending() {
-		f.eng.Cancel(f.overEv)
+		_ = f.eng.Cancel(f.overEv)
 		f.overEv = nil
 	}
 	return true

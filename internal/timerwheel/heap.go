@@ -93,7 +93,7 @@ func (h *Heap) Schedule(t *Timer, expires uint64) {
 		return
 	}
 	if t.queue != nil {
-		t.queue.Cancel(t)
+		_ = t.queue.Cancel(t)
 	}
 	h.seq++
 	t.expires = expires

@@ -76,7 +76,7 @@ func (w *HierarchicalWheel) vecFor(expires uint64) *bucket {
 // Schedule implements Queue.
 func (w *HierarchicalWheel) Schedule(t *Timer, expires uint64) {
 	if t.queue != nil {
-		t.queue.Cancel(t)
+		_ = t.queue.Cancel(t)
 	}
 	w.seq++
 	t.expires = expires

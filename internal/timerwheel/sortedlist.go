@@ -27,7 +27,7 @@ func (s *SortedList) Len() int { return s.n }
 // Schedule implements Queue.
 func (s *SortedList) Schedule(t *Timer, expires uint64) {
 	if t.queue != nil {
-		t.queue.Cancel(t)
+		_ = t.queue.Cancel(t)
 	}
 	s.seq++
 	if expires <= s.last {

@@ -40,7 +40,7 @@ func (w *SimpleWheel) Len() int { return w.n + w.overflow.Len() }
 // Schedule implements Queue.
 func (w *SimpleWheel) Schedule(t *Timer, expires uint64) {
 	if t.queue != nil {
-		t.queue.Cancel(t)
+		_ = t.queue.Cancel(t)
 	}
 	w.seq++
 	if expires <= w.now {
@@ -69,7 +69,7 @@ func (w *SimpleWheel) Cancel(t *Timer) bool {
 		// whether it is one of ours.
 		if t.bucket == &w.overflow.list {
 			t.queue = w.overflow // hand back so the list's Cancel accepts it
-			w.overflow.Cancel(t)
+			_ = w.overflow.Cancel(t)
 			t.queue = nil
 			return true
 		}
@@ -93,7 +93,7 @@ func (w *SimpleWheel) Advance(now uint64, fire func(*Timer)) int {
 				break
 			}
 			first.queue = w.overflow
-			w.overflow.Cancel(first)
+			_ = w.overflow.Cancel(first)
 			w.Schedule(first, first.expires)
 		}
 		b := &w.buckets[w.now%w.horizon]
@@ -147,7 +147,7 @@ func (w *HashedWheel) Len() int { return w.n }
 // Schedule implements Queue.
 func (w *HashedWheel) Schedule(t *Timer, expires uint64) {
 	if t.queue != nil {
-		t.queue.Cancel(t)
+		_ = t.queue.Cancel(t)
 	}
 	w.seq++
 	if expires <= w.now {

@@ -54,9 +54,9 @@ func VistaDesktop(cfg Config) *Result {
 	// The browser: tens of timer sets per second.
 	bpid := sys.pid()
 	bth := sys.k.NewThread(bpid, "iexplore.exe!ev")
-	sys.shortWaitLoop(bth, 30*sim.Millisecond)
+	sys.shortWaitLoop(bth, browserPumpTimeout)
 	bq := sys.k.NewMessageQueue(bpid, "iexplore.exe")
-	bq.SetTimer(1, 100*sim.Millisecond, func() {})
+	bq.SetTimer(1, browserGUITick, func() {})
 
 	// Outlook: the UI-upcall guard. Every upcall sets a 5 s threadpool
 	// timeout assertion and cancels it on return.
@@ -64,10 +64,12 @@ func VistaDesktop(cfg Config) *Result {
 	pool := sys.k.NewPool(opid, "outlook.exe")
 	guard := func() {
 		tp := pool.NewTimer("outlook.exe/ui-guard", func() {})
-		tp.Set(5*sim.Second, 0, 0)
-		// The upcall returns quickly; the assertion is canceled.
+		tp.Set(outlookUpcallGuard, 0, 0)
+		// The upcall returns quickly; the assertion is canceled. The guard
+		// usually loses the race on purpose — the dropped pending/expired
+		// bit is exactly the modeled idiom.
 		sys.eng.After(sys.uniform(50*sim.Microsecond, 2*sim.Millisecond), "outlook:return", func() {
-			tp.Cancel()
+			_ = tp.Cancel()
 		})
 	}
 	// Idle Outlook: ~70 upcalls per second (message pump churn).
@@ -88,7 +90,7 @@ func VistaDesktop(cfg Config) *Result {
 				guard()
 			}
 			if sim.Duration(sys.eng.Now()) < burstEnd {
-				sys.eng.After(2*sim.Millisecond, "outlook:burst", burst)
+				sys.eng.After(outlookBurstGap, "outlook:burst", burst)
 			}
 		}
 		sys.eng.After(burstStart, "outlook:burst", burst)
@@ -96,7 +98,7 @@ func VistaDesktop(cfg Config) *Result {
 
 	// An Outlook housekeeping wait loop too, for the idle floor.
 	oth := sys.k.NewThread(opid, "outlook.exe!bg")
-	sys.waitLoop(oth, 250*sim.Millisecond, 0.1)
+	sys.waitLoop(oth, outlookHousekeepingTimeout, 0.1)
 
 	return sys.finish(Desktop)
 }

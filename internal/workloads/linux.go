@@ -88,10 +88,11 @@ func (s *linuxSystem) diskIO() {
 	ide := s.popTimer(&s.idePool, "kernel/ide:command-timeout")
 	done := false
 	ide.SetCallback(func() { done = true }) // command timeout: request aborts
-	s.l.Base().ModTimeout(ide, 30*sim.Second)
+	s.l.Base().ModTimeout(ide, ideCommandTimeout)
 	s.eng.After(s.uniform(2*sim.Millisecond, 12*sim.Millisecond), "ide:complete", func() {
 		if !done {
-			s.l.Base().Del(ide)
+			// Completion vs. timeout race is part of the modeled behavior.
+			_ = s.l.Base().Del(ide)
 		}
 		s.idePool = append(s.idePool, ide)
 	})
@@ -100,7 +101,7 @@ func (s *linuxSystem) diskIO() {
 	unplug.SetCallback(func() {
 		s.unplugPool = append(s.unplugPool, unplug)
 	})
-	s.l.Base().ModTimeout(unplug, 4*sim.Millisecond)
+	s.l.Base().ModTimeout(unplug, blockUnplugTimeout)
 }
 
 // popTimer takes a recycled timer from a slab, initializing a fresh one on
@@ -117,41 +118,40 @@ func (s *linuxSystem) popTimer(pool *[]*jiffies.Timer, origin string) *jiffies.T
 func (s *linuxSystem) bootKernelDaemons() {
 	b := s.l.Base()
 	// The Table 3 periodic family.
-	s.periodic("kernel/workqueue:timer", sim.Second, nil)
-	s.periodic("kernel/workqueue:delayed", 2*sim.Second, nil)
-	s.periodic("kernel/hres:clocksource-watchdog", 500*sim.Millisecond, nil)
-	s.periodic("kernel/usb:hcd-poll", 248*sim.Millisecond, nil)
-	s.periodic("kernel/e1000:watchdog", 2*sim.Second, nil)
-	s.periodic("kernel/pktsched:qdisc", 5*sim.Second, nil)
-	s.periodic("kernel/vm:vmstat-update", sim.Second, nil)
-	s.periodic("kernel/mm:slab-reap", 2*sim.Second, nil)
-	// Dirty page write-back: every 5 s; occasionally finds work and does
-	// disk I/O.
-	s.periodic("kernel/mm:writeback", 5*sim.Second, func() {
+	s.periodic("kernel/workqueue:timer", workqueueTimerPeriod, nil)
+	s.periodic("kernel/workqueue:delayed", workqueueDelayedPeriod, nil)
+	s.periodic("kernel/hres:clocksource-watchdog", clocksourceWatchdogPeriod, nil)
+	s.periodic("kernel/usb:hcd-poll", usbHcdPollPeriod, nil)
+	s.periodic("kernel/e1000:watchdog", e1000WatchdogPeriod, nil)
+	s.periodic("kernel/pktsched:qdisc", qdiscPeriod, nil)
+	s.periodic("kernel/vm:vmstat-update", vmstatUpdatePeriod, nil)
+	s.periodic("kernel/mm:slab-reap", slabReapPeriod, nil)
+	// Dirty page write-back occasionally finds work and does disk I/O.
+	s.periodic("kernel/mm:writeback", writebackInterval, func() {
 		if s.rng.Intn(4) == 0 {
 			s.diskIO()
 		}
 	})
 	// Page-out timer.
-	s.periodic("kernel/mm:page-out", 10*sim.Second, nil)
+	s.periodic("kernel/mm:page-out", pageOutInterval, nil)
 	// Console blank: a long watchdog; no console input ever arrives in
 	// these workloads, so it expires once (blanks) per 10 minutes of trace.
 	var blank *jiffies.Timer
 	blank = s.l.KernelTimer("kernel/console:blank", func() {
-		b.ModTimeout(blank, 600*sim.Second)
+		b.ModTimeout(blank, consoleBlankTimeout)
 	})
-	b.ModTimeout(blank, 600*sim.Second)
+	b.ModTimeout(blank, consoleBlankTimeout)
 }
 
 func (s *linuxSystem) bootUserDaemons() {
 	// init polls its children every 5 s (Table 3).
-	s.selectLoop(s.l.NewProcess("init"), 5*sim.Second, 0)
+	s.selectLoop(s.l.NewProcess("init"), initPollTimeout, 0)
 	// Stock daemons wake rarely on fixed human values.
-	s.selectLoop(s.l.NewProcess("syslogd"), 30*sim.Second, 0)
-	s.selectLoop(s.l.NewProcess("cron"), 60*sim.Second, 0)
-	s.selectLoop(s.l.NewProcess("atd"), 60*sim.Second, 0)
-	s.selectLoop(s.l.NewProcess("inetd"), 120*sim.Second, 0)
-	s.selectLoop(s.l.NewProcess("portmap"), 300*sim.Second, 0)
+	s.selectLoop(s.l.NewProcess("syslogd"), syslogdPollTimeout, 0)
+	s.selectLoop(s.l.NewProcess("cron"), cronPollTimeout, 0)
+	s.selectLoop(s.l.NewProcess("atd"), atdPollTimeout, 0)
+	s.selectLoop(s.l.NewProcess("inetd"), inetdPollTimeout, 0)
+	s.selectLoop(s.l.NewProcess("portmap"), portmapPollTimeout, 0)
 }
 
 // selectLoop runs a daemon's event loop: select with a constant timeout; if
@@ -202,7 +202,7 @@ func (s *linuxSystem) bootLAN() {
 		s.eng.After(s.exp(6*sim.Second), "lan:chatter", chatter)
 	}
 	// Seed our neighbour entries by talking to the router once.
-	s.eng.After(sim.Second, "lan:seed", func() {
+	s.eng.After(lanSeedDelay, "lan:seed", func() {
 		s.stack.Connect("router", 7, func(c *netsim.Conn, err error) {
 			if c != nil {
 				c.Close()
@@ -218,8 +218,8 @@ func (s *linuxSystem) bootLAN() {
 func (s *linuxSystem) startX(xActivityMean sim.Duration) {
 	xorg := s.l.NewProcess("Xorg")
 	icewm := s.l.NewProcess("icewm")
-	s.selectLoop(xorg, 600*sim.Second, xActivityMean)
-	s.selectLoop(icewm, 60*sim.Second, 4*xActivityMean)
+	s.selectLoop(xorg, xorgScreensaverTimeout, xActivityMean)
+	s.selectLoop(icewm, icewmHousekeepingTimeout, 4*xActivityMean)
 }
 
 // finish runs the engine for the configured duration and packages results.

@@ -86,9 +86,9 @@ func LinuxFirefox(cfg Config) *Result {
 	// Several event-loop threads polling fds at the three signature values.
 	// Fd activity cancels most polls (Table 1: the Firefox trace cancels
 	// far more than it expires).
-	sys.pollCycler(ff, 4*sim.Millisecond, 0.85, 3*sim.Millisecond)
-	sys.pollCycler(ff, 8*sim.Millisecond, 0.8, 5*sim.Millisecond)
-	sys.pollCycler(ff, 12*sim.Millisecond, 0.78, 6*sim.Millisecond)
+	sys.pollCycler(ff, firefoxPollShort, 0.85, 3*sim.Millisecond)
+	sys.pollCycler(ff, firefoxPollMid, 0.8, 5*sim.Millisecond)
+	sys.pollCycler(ff, firefoxPollLong, 0.78, 6*sim.Millisecond)
 	// Two Flash plugin instances animating.
 	sys.flashLoop(ff)
 	sys.flashLoop(ff)
@@ -103,7 +103,7 @@ func LinuxFirefox(cfg Config) *Result {
 	sys.net.SetPath("testbox", webHost, netsim.PathConfig{
 		Latency: 20 * sim.Millisecond, Jitter: 10 * sim.Millisecond, Loss: 0.005,
 	})
-	sys.fetchPage(webHost, 4, 1<<30, 2*sim.Second)
+	sys.fetchPage(webHost, 4, 1<<30, pageFetchMean)
 	return sys.finish(Firefox)
 }
 
@@ -127,9 +127,9 @@ func LinuxSkype(cfg Config) *Result {
 	var stream func()
 	stream = func() {
 		sys.net.Send(netsim.Packet{From: peer, To: "testbox", Size: 320, Payload: "frame"})
-		sys.eng.After(20*sim.Millisecond, "skypepeer:frame", stream)
+		sys.eng.After(voiceFrameInterval, "skypepeer:frame", stream)
 	}
-	sys.eng.After(sim.Second, "skypepeer:start", stream)
+	sys.eng.After(appStartDelay, "skypepeer:start", stream)
 
 	// The audio thread: after each frame, poll for the next with an
 	// adaptive timeout tracking observed inter-arrival jitter — a genuine
@@ -165,15 +165,15 @@ func LinuxSkype(cfg Config) *Result {
 		lastArrival = now
 		pendingAudio.Complete()
 	}
-	sys.eng.After(sim.Second, "skype:start", audio)
+	sys.eng.After(appStartDelay, "skype:start", audio)
 
 	// The UI thread: 0.5 s and 0.4999 s selects (two different call
 	// sites, as the trace shows).
-	sys.pollCycler(sk, 500*sim.Millisecond, 0.3, 50*sim.Millisecond)
+	sys.pollCycler(sk, skypeUIPollTimeout, 0.3, 50*sim.Millisecond)
 	halfTh := sk.NewThread()
 	var halfish func()
 	halfish = func() {
-		halfTh.Select(499900*sim.Microsecond, func(kernel.SelectResult) { halfish() })
+		halfTh.Select(skypeUIPollOddTimeout, func(kernel.SelectResult) { halfish() })
 	}
 	halfish()
 
@@ -198,7 +198,7 @@ func LinuxSkype(cfg Config) *Result {
 	sys.net.SetPath("testbox", super, netsim.PathConfig{
 		Latency: 50 * sim.Millisecond, Jitter: 30 * sim.Millisecond, Loss: 0.02,
 	})
-	sys.eng.After(2*sim.Second, "skype:signal", func() {
+	sys.eng.After(skypeSignalDelay, "skype:signal", func() {
 		sys.stack.Connect(super, 443, func(c *netsim.Conn, err error) {
 			if err != nil {
 				return
@@ -225,7 +225,7 @@ func LinuxWebserver(cfg Config) *Result {
 
 	// Apache master event loop: 1 s select, partly canceled by accept
 	// activity (Table 3 calls it a Timeout).
-	sys.selectLoop(apache, sim.Second, 3*sim.Second)
+	sys.selectLoop(apache, apacheSelectTimeout, 3*sim.Second)
 
 	// Journal commit: armed on dirty data, canceled 80-100 % in (forced
 	// commit), re-armed by the next write — the Figure 11 cluster.
@@ -237,14 +237,15 @@ func LinuxWebserver(cfg Config) *Result {
 	logWrite := func() {
 		if !journalDirty {
 			journalDirty = true
-			sys.l.Base().ModTimeout(journal, 5*sim.Second)
+			sys.l.Base().ModTimeout(journal, journalCommitInterval)
 			// Most commits are forced early by fsync-ish activity.
 			if sys.rng.Float64() < 0.8 {
 				after := sys.uniform(4*sim.Second, 5*sim.Second)
 				sys.eng.After(after, "jbd:force", func() {
 					if journalDirty {
 						journalDirty = false
-						sys.l.Base().Del(journal)
+						// Forced commit vs. timer expiry race is modeled.
+						_ = sys.l.Base().Del(journal)
 						sys.diskIO()
 					}
 				})
@@ -272,7 +273,7 @@ func LinuxWebserver(cfg Config) *Result {
 	// watchdogs) from boot, like the stock Apache configuration.
 	for i := 0; i < 10; i++ {
 		w := newWorker()
-		w.idle.Settime(30*sim.Second, 0)
+		w.idle.Settime(apacheWorkerIdleKill, 0)
 		workers = append(workers, w)
 	}
 	rr := 0
@@ -290,8 +291,8 @@ func LinuxWebserver(cfg Config) *Result {
 	}
 	sys.stack.Listen(80, func(c *netsim.Conn) {
 		w := getWorker()
-		w.idle.Settime(30*sim.Second, 0) // defer the self-kill watchdog
-		guard := w.th.Poll(15*sim.Second, func(r kernel.SelectResult) {
+		w.idle.Settime(apacheWorkerIdleKill, 0) // defer the self-kill watchdog
+		guard := w.th.Poll(apacheConnWatchdog, func(r kernel.SelectResult) {
 			workers = append(workers, w)
 			if r.TimedOut {
 				c.Close()
@@ -314,7 +315,7 @@ func LinuxWebserver(cfg Config) *Result {
 	if total < 1 {
 		total = 1
 	}
-	client := newHttperf(sys, "loadgen", total, 10, 5*sim.Second)
+	client := newHttperf(sys, "loadgen", total, 10, httperfStateTimeout)
 	client.start()
 	return sys.finish(Webserver)
 }
@@ -382,7 +383,8 @@ func (h *httperf) request() {
 			return
 		}
 		c.OnMessage = func(c *netsim.Conn, size int, _ any) {
-			sys.eng.Cancel(watchdog)
+			// Response vs. watchdog race is the modeled behavior.
+			_ = sys.eng.Cancel(watchdog)
 			c.Close()
 			finish(true)
 		}

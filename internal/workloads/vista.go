@@ -129,7 +129,7 @@ func (s *vistaSystem) bootServices() {
 		if i%3 == 0 {
 			pool := s.k.NewPool(pid, name)
 			tp := pool.NewTimer(name+"/housekeeping", func() {})
-			tp.Set(s.uniform(5*sim.Second, 30*sim.Second), 10*sim.Second, sim.Second)
+			tp.Set(s.uniform(5*sim.Second, 30*sim.Second), vistaHousekeepingPeriod, vistaHousekeepingWindow)
 		}
 		// NT API one-shot timers for deferred work (lazy handle closing):
 		// the Vista "deferred" pattern of Section 4.1.1.
@@ -148,10 +148,10 @@ func (s *vistaSystem) deferredCloser(pid int32, name string) {
 	var access func()
 	access = func() {
 		if t == nil {
-			t = s.k.NtSetTimer(pid, origin, 5*sim.Second, func() { t = nil })
+			t = s.k.NtSetTimer(pid, origin, lazyCloseTimeout, func() { t = nil })
 		} else {
 			// Defer: re-set the same handle's timer.
-			s.k.SetTimerIn(t, 5*sim.Second, 0)
+			s.k.SetTimerIn(t, lazyCloseTimeout, 0)
 		}
 		// Accesses cluster in bursts with quiet gaps longer than 5 s.
 		var gap sim.Duration
@@ -263,8 +263,8 @@ func VistaFirefox(cfg Config) *Result {
 	sys.zeroWaitSpinner(pump, 18, 25*sim.Millisecond)
 	// GUI timers: Flash frame timer and a 50 ms UI tick.
 	q := sys.k.NewMessageQueue(pid, "firefox.exe")
-	q.SetTimer(1, 10*sim.Millisecond, func() {})
-	q.SetTimer(2, 50*sim.Millisecond, func() {})
+	q.SetTimer(1, flashFrameTick, func() {})
+	q.SetTimer(2, vistaUITick, func() {})
 	// Network: afd selects guarding socket reads from the page's host.
 	webHost := "myspace.com"
 	remoteK := ktimer.NewKernel(sys.eng, trace.NewBuffer(0))
@@ -279,7 +279,7 @@ func VistaFirefox(cfg Config) *Result {
 	})
 	var fetch func()
 	fetch = func() {
-		cancel := sys.k.AfdSelect(pid, "firefox.exe", 2*sim.Second, func(bool) {})
+		cancel := sys.k.AfdSelect(pid, "firefox.exe", fetchGuardTimeout, func(bool) {})
 		sys.stack.Connect(webHost, 80, func(c *netsim.Conn, err error) {
 			if err != nil {
 				cancel()
@@ -293,7 +293,7 @@ func VistaFirefox(cfg Config) *Result {
 		})
 		sys.eng.After(sys.exp(2*sim.Second), "firefox:fetch", fetch)
 	}
-	sys.eng.After(sim.Second, "firefox:start", fetch)
+	sys.eng.After(appStartDelay, "firefox:start", fetch)
 	return sys.finish(Firefox)
 }
 
@@ -303,17 +303,17 @@ func VistaSkype(cfg Config) *Result {
 	sys := newVistaSystem(cfg)
 	pid := sys.pid()
 	audio := sys.k.NewThread(pid, "skype.exe!audio")
-	sys.shortWaitLoop(audio, 20*sim.Millisecond)
+	sys.shortWaitLoop(audio, voiceFrameInterval)
 	ui := sys.k.NewThread(pid, "skype.exe!ui")
-	sys.waitLoop(ui, sim.Duration(115625*int64(sim.Microsecond)), 0.3)
+	sys.waitLoop(ui, skypeOddWaitShort, 0.3)
 	ui2 := sys.k.NewThread(pid, "skype.exe!ui2")
-	sys.waitLoop(ui2, sim.Duration(515625*int64(sim.Microsecond)), 0.2)
+	sys.waitLoop(ui2, skypeOddWaitLong, 0.2)
 	spin := sys.k.NewThread(pid, "skype.exe!engine")
 	sys.zeroWaitSpinner(spin, 8, 30*sim.Millisecond)
 	// GUI blink/meter timers.
 	q := sys.k.NewMessageQueue(pid, "skype.exe")
-	q.SetTimer(1, 100*sim.Millisecond, func() {})
-	q.SetTimer(2, 500*sim.Millisecond, func() {})
+	q.SetTimer(1, skypeBlinkTick, func() {})
+	q.SetTimer(2, skypeMeterTick, func() {})
 	// Voice datagrams to the peer (no kernel TCP timers).
 	peer := "skypepeer"
 	sys.net.Attach(peer, func(netsim.Packet) {})
@@ -323,9 +323,9 @@ func VistaSkype(cfg Config) *Result {
 	var stream func()
 	stream = func() {
 		sys.net.Send(netsim.Packet{From: "vistabox", To: peer, Size: 320, Payload: "frame"})
-		sys.eng.After(20*sim.Millisecond, "skype:frame", stream)
+		sys.eng.After(voiceFrameInterval, "skype:frame", stream)
 	}
-	sys.eng.After(sim.Second, "skype:start", stream)
+	sys.eng.After(appStartDelay, "skype:start", stream)
 	return sys.finish(Skype)
 }
 
@@ -338,11 +338,11 @@ func VistaWebserver(cfg Config) *Result {
 	// Worker threads poll for connections.
 	for i := 0; i < 4; i++ {
 		th := sys.k.NewThread(pid, fmt.Sprintf("httpd.exe!w%d", i))
-		sys.waitLoop(th, sim.Second, 0.4)
+		sys.waitLoop(th, httpdWorkerPoll, 0.4)
 	}
 	sys.stack.Listen(80, func(c *netsim.Conn) {
 		// Per-connection guard via afd select, Windows style.
-		cancel := sys.k.AfdSelect(pid, "httpd.exe", 15*sim.Second, func(timedOut bool) {
+		cancel := sys.k.AfdSelect(pid, "httpd.exe", httpdConnWatchdog, func(timedOut bool) {
 			if timedOut {
 				c.Close()
 			}
@@ -414,7 +414,8 @@ func (h *vistaHttperf) request() {
 			return
 		}
 		c.OnMessage = func(c *netsim.Conn, size int, _ any) {
-			sys.eng.Cancel(watchdog)
+			// Response vs. watchdog race is the modeled behavior.
+			_ = sys.eng.Cancel(watchdog)
 			c.Close()
 			finish()
 		}

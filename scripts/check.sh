@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification: build, vet, race tests, and the repo's own linter.
+# CI runs exactly this script; run it before sending a change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== timerlint =="
+go run ./cmd/timerlint ./...
+
+echo "OK"
