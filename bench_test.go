@@ -36,14 +36,18 @@ func benchCfg() workloads.Config {
 
 // --- Tables 1 and 2 ---
 
-func benchSummaries(b *testing.B, run func(string, workloads.Config) *workloads.Result, names []string) {
-	var last []analysis.Summary
+// benchSummaries fans the table's workloads across the worker pool (the
+// cmd/experiments production path) and summarizes each trace in-worker.
+func benchSummaries(b *testing.B, os string, names []string) {
+	specs := make([]workloads.Spec, len(names))
+	for i, n := range names {
+		specs[i] = workloads.Spec{OS: os, Name: n, Cfg: benchCfg()}
+	}
+	last := make([]analysis.Summary, len(specs))
 	for i := 0; i < b.N; i++ {
-		last = last[:0]
-		for _, n := range names {
-			res := run(n, benchCfg())
-			last = append(last, analysis.Summarize(res.Trace))
-		}
+		workloads.ForEach(specs, 0, func(j int, res *workloads.Result) {
+			last[j] = analysis.Summarize(res.Trace)
+		})
 	}
 	secs := benchDuration.Seconds()
 	for i, n := range names {
@@ -52,11 +56,85 @@ func benchSummaries(b *testing.B, run func(string, workloads.Config) *workloads.
 }
 
 func BenchmarkTable1LinuxSummary(b *testing.B) {
-	benchSummaries(b, workloads.RunLinux, workloads.LinuxWorkloads())
+	benchSummaries(b, "linux", workloads.LinuxWorkloads())
 }
 
 func BenchmarkTable2VistaSummary(b *testing.B) {
-	benchSummaries(b, workloads.RunVista, workloads.VistaWorkloads())
+	benchSummaries(b, "vista", workloads.VistaWorkloads())
+}
+
+// --- The evaluation fan-out: nine traces, serial vs worker pool ---
+
+// benchNineWorkloads runs the full evaluation set (4 Linux + 4 Vista +
+// the 90 s desktop) per iteration; the Serial/Parallel pair measures the
+// fan-out speedup on this host (identical on one core, ~min(9, cores)x
+// apart on a multi-core machine — the outputs are identical either way,
+// see TestParallelMatchesSerial).
+func benchNineWorkloads(b *testing.B, workers int) {
+	specs := workloads.EvaluationSpecs(benchCfg())
+	accesses := make([]uint64, len(specs))
+	for i := 0; i < b.N; i++ {
+		workloads.ForEach(specs, workers, func(j int, res *workloads.Result) {
+			accesses[j] = analysis.Summarize(res.Trace).Accesses
+		})
+	}
+	var total uint64
+	for _, a := range accesses {
+		total += a
+	}
+	b.ReportMetric(float64(total), "accesses")
+}
+
+func BenchmarkNineWorkloadsSerial(b *testing.B)   { benchNineWorkloads(b, 1) }
+func BenchmarkNineWorkloadsParallel(b *testing.B) { benchNineWorkloads(b, 0) }
+
+// --- Single-pass pipeline vs the six independent walks it replaced ---
+
+func benchAnalysisOptions() (vPlain, vFilt, vUser analysis.ValueOptions, sOpts analysis.ScatterOptions) {
+	vPlain = analysis.ValueOptions{JiffyBinKernel: true, MinSharePercent: 2}
+	vFilt = analysis.ValueOptions{
+		JiffyBinKernel: true, MinSharePercent: 2,
+		CollapseCountdowns: true, ExcludeProcesses: []string{"Xorg", "icewm"},
+	}
+	vUser = analysis.ValueOptions{UserOnly: true, MinSharePercent: 2, CollapseCountdowns: true}
+	sOpts = analysis.DefaultScatterOptions()
+	sOpts.ExcludeProcesses = []string{"Xorg", "icewm"}
+	return
+}
+
+func BenchmarkAnalysisSinglePassPipeline(b *testing.B) {
+	res := workloads.RunLinux(workloads.Webserver, benchCfg())
+	vPlain, vFilt, vUser, sOpts := benchAnalysisOptions()
+	b.ResetTimer()
+	var rep *analysis.Report
+	for i := 0; i < b.N; i++ {
+		rep = analysis.Pipeline{
+			Values: vPlain, ValuesFiltered: &vFilt, ValuesUser: &vUser,
+			Scatter: &sOpts, SeriesProcess: "Xorg", OriginMinSets: 50,
+		}.Run(res.Trace)
+	}
+	b.ReportMetric(float64(res.Trace.Len()), "records")
+	b.ReportMetric(float64(len(rep.Origins)), "origin-rows")
+}
+
+func BenchmarkAnalysisLegacySixPass(b *testing.B) {
+	res := workloads.RunLinux(workloads.Webserver, benchCfg())
+	vPlain, vFilt, vUser, sOpts := benchAnalysisOptions()
+	b.ResetTimer()
+	var rows []analysis.OriginRow
+	for i := 0; i < b.N; i++ {
+		ls := analysis.Lifecycles(res.Trace)
+		_ = analysis.Summarize(res.Trace)
+		_ = analysis.ComputeClassShares(ls)
+		_, _ = analysis.CommonValues(ls, vPlain)
+		_, _ = analysis.CommonValues(ls, vFilt)
+		_, _ = analysis.CommonValues(ls, vUser)
+		_ = analysis.Scatter(ls, sOpts)
+		_ = analysis.SetSeries(ls, "Xorg")
+		rows = analysis.OriginTable(ls, 50)
+	}
+	b.ReportMetric(float64(res.Trace.Len()), "records")
+	b.ReportMetric(float64(len(rows)), "origin-rows")
 }
 
 // --- Table 3 ---

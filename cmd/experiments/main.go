@@ -2,16 +2,30 @@
 // evaluation from the simulated systems, printing them in order. Its output
 // is the basis of EXPERIMENTS.md.
 //
+// The ten evaluation traces (four Linux + four Vista workloads, the 90 s
+// Vista desktop behind Figure 1, and the Section 5.2 webserver trace) are
+// independent deterministic simulations, so they fan out across a worker
+// pool and each trace is reduced to its tables/figures in the worker via
+// analysis.Pipeline — the trace buffer is released before the next run
+// starts on that worker. Output is byte-identical at any worker count.
+//
 // Usage:
 //
 //	experiments              # full 30-minute virtual traces (the paper's length)
 //	experiments -quick       # 2-minute traces for a fast look
+//	experiments -j 4         # cap the worker pool (default GOMAXPROCS)
+//	experiments -bench f.json # also write machine-readable wall-clock timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"os"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"timerstudy/internal/analysis"
@@ -27,9 +41,11 @@ import (
 )
 
 var (
-	durFlag  = flag.Duration("duration", 30*time.Minute, "virtual duration per trace")
-	seedFlag = flag.Int64("seed", 1, "simulation seed")
-	quick    = flag.Bool("quick", false, "use 2-minute traces")
+	durFlag   = flag.Duration("duration", 30*time.Minute, "virtual duration per trace")
+	seedFlag  = flag.Int64("seed", 1, "simulation seed")
+	quick     = flag.Bool("quick", false, "use 2-minute traces")
+	workersFl = flag.Int("j", 0, "workload worker pool size (0 = GOMAXPROCS)")
+	benchFl   = flag.String("bench", "", "write a machine-readable timing report (JSON) to this file")
 )
 
 // artifacts is everything we keep from one workload run after its trace is
@@ -46,28 +62,179 @@ type artifacts struct {
 	origins []analysis.OriginRow
 }
 
+// analyze reduces one finished run to its artifacts in a single pass over
+// the trace (lifecycles + summary + every histogram at once).
 func analyze(res *workloads.Result) artifacts {
-	ls := analysis.Lifecycles(res.Trace)
-	a := artifacts{name: res.Name, summary: analysis.Summarize(res.Trace)}
-	a.shares = analysis.ComputeClassShares(ls)
-	a.values, _ = analysis.CommonValues(ls, analysis.ValueOptions{JiffyBinKernel: res.OS == "linux", MinSharePercent: 2})
-	a.valuesF, _ = analysis.CommonValues(ls, analysis.ValueOptions{
-		JiffyBinKernel: res.OS == "linux", MinSharePercent: 2,
-		CollapseCountdowns: true, ExcludeProcesses: []string{"Xorg", "icewm"},
-	})
-	a.valuesU, _ = analysis.CommonValues(ls, analysis.ValueOptions{
-		UserOnly: true, MinSharePercent: 2, CollapseCountdowns: true,
-	})
-	opts := analysis.DefaultScatterOptions()
-	opts.ExcludeProcesses = []string{"Xorg", "icewm"}
-	a.scatter = analysis.Scatter(ls, opts)
-	a.series = analysis.SetSeries(ls, "Xorg")
-	a.origins = analysis.OriginTable(ls, 50)
-	return a
+	sOpts := analysis.DefaultScatterOptions()
+	sOpts.ExcludeProcesses = []string{"Xorg", "icewm"}
+	rep := analysis.Pipeline{
+		Values: analysis.ValueOptions{JiffyBinKernel: res.OS == "linux", MinSharePercent: 2},
+		ValuesFiltered: &analysis.ValueOptions{
+			JiffyBinKernel: res.OS == "linux", MinSharePercent: 2,
+			CollapseCountdowns: true, ExcludeProcesses: []string{"Xorg", "icewm"},
+		},
+		ValuesUser: &analysis.ValueOptions{
+			UserOnly: true, MinSharePercent: 2, CollapseCountdowns: true,
+		},
+		Scatter:       &sOpts,
+		SeriesProcess: "Xorg",
+		OriginMinSets: 50,
+	}.Run(res.Trace)
+	return artifacts{
+		name:    res.Name,
+		summary: rep.Summary,
+		shares:  rep.Shares,
+		values:  rep.Values,
+		valuesF: rep.ValuesFiltered,
+		valuesU: rep.ValuesUser,
+		scatter: rep.Scatter,
+		series:  rep.Series,
+		origins: rep.Origins,
+	}
 }
 
-func header(s string) {
-	fmt.Printf("\n=== %s ===\n\n", s)
+// experimentSet holds every artifact the figure writer needs, in workload
+// order. It is a pure function of (seed, dur) — worker count never changes
+// its contents, which TestParallelMatchesSerial asserts byte-for-byte.
+type experimentSet struct {
+	dur          sim.Duration
+	names        []string
+	linux        []artifacts
+	vista        []artifacts
+	desktopRates []analysis.RateSeries
+	relations    []analysis.InferredRelation
+}
+
+// computeExperiments runs the ten evaluation traces on a pool of workers
+// and reduces each to its artifacts inside the worker goroutine.
+func computeExperiments(seed int64, dur sim.Duration, workers int, bench *benchReport) experimentSet {
+	cfg := workloads.Config{Seed: seed, Duration: dur}
+	specs := workloads.EvaluationSpecs(cfg)
+	desktopIdx := len(specs) - 1
+	relationsIdx := len(specs)
+	specs = append(specs, workloads.Spec{
+		OS: "linux", Name: workloads.Webserver,
+		Cfg: workloads.Config{Seed: seed, Duration: relationsTraceDuration},
+	})
+
+	set := experimentSet{
+		dur:   dur,
+		names: workloads.LinuxWorkloads(),
+		linux: make([]artifacts, len(workloads.LinuxWorkloads())),
+		vista: make([]artifacts, len(workloads.VistaWorkloads())),
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	timings := make([]runTiming, len(specs))
+
+	start := time.Now()
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < min(workers, len(specs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				res := specs[i].Run()
+				t1 := time.Now()
+				switch {
+				case i < len(set.linux):
+					set.linux[i] = analyze(res)
+				case i < desktopIdx:
+					set.vista[i-len(set.linux)] = analyze(res)
+				case i == desktopIdx:
+					set.desktopRates = analysis.SetRates(res.Trace, res.Duration, workloads.DesktopGrouper(res.Trace))
+				case i == relationsIdx:
+					set.relations = analysis.InferRelations(analysis.Lifecycles(res.Trace), analysis.InferOptions{})
+				}
+				timings[i] = runTiming{
+					run:     t1.Sub(t0),
+					analyze: time.Since(t1),
+					records: res.Trace.Len(),
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	bench.recordCompute(specs, timings, workers, time.Since(start))
+	return set
+}
+
+func headerTo(w io.Writer, s string) {
+	fmt.Fprintf(w, "\n=== %s ===\n\n", s)
+}
+
+func header(s string) { headerTo(os.Stdout, s) }
+
+// writeFigures prints Tables 1-3 and Figures 1-11 from a computed set. It
+// is deterministic: same set in, same bytes out, regardless of how the set
+// was computed.
+func writeFigures(w io.Writer, s experimentSet, bench *benchReport) {
+	names := s.names
+
+	bench.section("table-1-linux-summary", func() {
+		headerTo(w, "Table 1: Linux trace summary")
+		printSummaries(w, s.linux, false)
+	})
+	bench.section("table-2-vista-summary", func() {
+		headerTo(w, "Table 2: Vista trace summary (timers clustered by call site, as Section 3.3)")
+		printSummaries(w, s.vista, true)
+	})
+
+	bench.section("figure-1-desktop-rates", func() {
+		headerTo(w, "Figure 1: Timer usage frequency in Vista (90 s desktop trace)")
+		fmt.Fprint(w, analysis.RenderRates(s.desktopRates))
+	})
+
+	bench.section("figure-2-class-shares", func() {
+		headerTo(w, "Figure 2: Common Linux timer usage patterns (% of timers)")
+		shares := make([]analysis.ClassShares, len(s.linux))
+		for i := range s.linux {
+			shares[i] = s.linux[i].shares
+		}
+		fmt.Fprint(w, analysis.RenderClassShares(names, shares))
+	})
+
+	bench.section("figures-3-7-value-histograms", func() {
+		headerTo(w, "Figure 3: Common Linux timer values (>=2%)")
+		for _, a := range s.linux {
+			fmt.Fprintf(w, "-- %s --\n%s", a.name, analysis.RenderValues(a.values))
+		}
+		headerTo(w, "Figure 4: X server select countdown (idle trace)")
+		fmt.Fprint(w, analysis.RenderSeries(s.linux[0].series, s.dur))
+		headerTo(w, "Figure 5: Common Linux values, X/icewm filtered, countdowns collapsed")
+		for _, a := range s.linux {
+			fmt.Fprintf(w, "-- %s --\n%s", a.name, analysis.RenderValues(a.valuesF))
+		}
+		headerTo(w, "Figure 6: Common Linux syscall (user-space) timer values")
+		for _, a := range s.linux {
+			fmt.Fprintf(w, "-- %s --\n%s", a.name, analysis.RenderValues(a.valuesU))
+		}
+		headerTo(w, "Figure 7: Common Vista timeout values")
+		for _, a := range s.vista {
+			fmt.Fprintf(w, "-- %s --\n%s", a.name, analysis.RenderValues(a.values))
+		}
+	})
+
+	bench.section("figures-8-11-scatter", func() {
+		figNames := []string{"Figure 8 (Idle)", "Figure 9 (Skype)", "Figure 10 (Firefox)", "Figure 11 (Webserver)"}
+		for i := range names {
+			headerTo(w, figNames[i]+": expiry/cancelation time vs timeout value")
+			fmt.Fprintf(w, "-- Linux --\n%s", analysis.RenderScatter(s.linux[i].scatter))
+			fmt.Fprintf(w, "-- Vista --\n%s", analysis.RenderScatter(s.vista[i].scatter))
+		}
+	})
+
+	bench.section("table-3-origins", func() {
+		headerTo(w, "Table 3: Origins and classification of frequent Linux timeout values")
+		fmt.Fprint(w, analysis.RenderOrigins(mergeOrigins(s.linux)))
+	})
 }
 
 func main() {
@@ -79,98 +246,170 @@ func main() {
 	cfg := workloads.Config{Seed: *seedFlag, Duration: dur}
 	fmt.Printf("timerstudy experiments: %v virtual per trace, seed %d\n", dur, *seedFlag)
 
-	names := workloads.LinuxWorkloads()
-	linux := make([]artifacts, 0, len(names))
-	for _, n := range names {
-		linux = append(linux, analyze(workloads.RunLinux(n, cfg)))
-	}
-	vista := make([]artifacts, 0, len(names))
-	for _, n := range names {
-		vista = append(vista, analyze(workloads.RunVista(n, cfg)))
-	}
-
-	// --- Table 1 / Table 2 ---
-	header("Table 1: Linux trace summary")
-	printSummaries(linux, false)
-	header("Table 2: Vista trace summary (timers clustered by call site, as Section 3.3)")
-	printSummaries(vista, true)
-
-	// --- Figure 1 ---
-	header("Figure 1: Timer usage frequency in Vista (90 s desktop trace)")
-	desktop := workloads.RunVista(workloads.Desktop, workloads.Config{Seed: *seedFlag, Duration: 90 * sim.Second})
-	rates := analysis.SetRates(desktop.Trace, desktop.Duration, workloads.DesktopGrouper(desktop.Trace))
-	fmt.Print(analysis.RenderRates(rates))
-
-	// --- Figure 2 ---
-	header("Figure 2: Common Linux timer usage patterns (% of timers)")
-	shares := make([]analysis.ClassShares, len(linux))
-	for i := range linux {
-		shares[i] = linux[i].shares
-	}
-	fmt.Print(analysis.RenderClassShares(names, shares))
-
-	// --- Figures 3, 5, 6, 7 ---
-	header("Figure 3: Common Linux timer values (>=2%)")
-	for _, a := range linux {
-		fmt.Printf("-- %s --\n%s", a.name, analysis.RenderValues(a.values))
-	}
-	header("Figure 4: X server select countdown (idle trace)")
-	fmt.Print(analysis.RenderSeries(linux[0].series, dur))
-	header("Figure 5: Common Linux values, X/icewm filtered, countdowns collapsed")
-	for _, a := range linux {
-		fmt.Printf("-- %s --\n%s", a.name, analysis.RenderValues(a.valuesF))
-	}
-	header("Figure 6: Common Linux syscall (user-space) timer values")
-	for _, a := range linux {
-		fmt.Printf("-- %s --\n%s", a.name, analysis.RenderValues(a.valuesU))
-	}
-	header("Figure 7: Common Vista timeout values")
-	for _, a := range vista {
-		fmt.Printf("-- %s --\n%s", a.name, analysis.RenderValues(a.values))
+	var bench *benchReport
+	if *benchFl != "" {
+		bench = &benchReport{Config: benchConfig{
+			Seed:            *seedFlag,
+			VirtualPerTrace: dur.String(),
+			Quick:           *quick,
+			Workers:         *workersFl,
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		}}
 	}
 
-	// --- Figures 8-11 ---
-	figNames := []string{"Figure 8 (Idle)", "Figure 9 (Skype)", "Figure 10 (Firefox)", "Figure 11 (Webserver)"}
-	for i := range names {
-		header(figNames[i] + ": expiry/cancelation time vs timeout value")
-		fmt.Printf("-- Linux --\n%s", analysis.RenderScatter(linux[i].scatter))
-		fmt.Printf("-- Vista --\n%s", analysis.RenderScatter(vista[i].scatter))
+	set := computeExperiments(*seedFlag, dur, *workersFl, bench)
+	writeFigures(os.Stdout, set, bench)
+
+	bench.section("section-3.2-overhead", func() {
+		header("Section 3.2: instrumentation overhead")
+		overheadExperiment(cfg)
+	})
+	bench.section("section-2.2.2-layers", func() {
+		header("Section 2.2.2: layered timeouts (open a file share)")
+		layersExperiment()
+	})
+	bench.section("section-5.1-adaptive", func() {
+		header("Section 5.1: adaptive timeouts vs the fixed 30 s")
+		adaptiveExperiment()
+	})
+	bench.section("section-5.3-coalescing", func() {
+		header("Section 5.3: slack windows, round_jiffies, dynticks vs CPU wakeups")
+		coalescingExperiment()
+	})
+	bench.section("section-5.2-relations", func() {
+		header("Section 5.2: timer relations inferred from the webserver trace")
+		fmt.Print(analysis.RenderRelations(set.relations))
+	})
+	bench.section("section-5.5-dispatcher", func() {
+		header("Section 5.5: timers merged into the CPU dispatcher")
+		dispatcherExperiment()
+	})
+	bench.section("related-work-soft-timers", func() {
+		header("Related work: soft timers (Aron & Druschel) on this substrate")
+		softTimerExperiment()
+	})
+
+	if bench != nil {
+		if err := bench.writeFile(*benchFl); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *benchFl, err)
+			os.Exit(1)
+		}
 	}
-
-	// --- Table 3 ---
-	header("Table 3: Origins and classification of frequent Linux timeout values")
-	fmt.Print(analysis.RenderOrigins(mergeOrigins(linux)))
-
-	// --- Section 3.2 ---
-	header("Section 3.2: instrumentation overhead")
-	overheadExperiment(cfg)
-
-	// --- Section 2.2.2 ---
-	header("Section 2.2.2: layered timeouts (open a file share)")
-	layersExperiment()
-
-	// --- Section 5.1 ---
-	header("Section 5.1: adaptive timeouts vs the fixed 30 s")
-	adaptiveExperiment()
-
-	// --- Section 5.3 ---
-	header("Section 5.3: slack windows, round_jiffies, dynticks vs CPU wakeups")
-	coalescingExperiment()
-
-	// --- Section 5.2 ---
-	header("Section 5.2: timer relations inferred from the webserver trace")
-	wsRes := workloads.RunLinux(workloads.Webserver, workloads.Config{Seed: *seedFlag, Duration: 3 * sim.Minute})
-	rels := analysis.InferRelations(analysis.Lifecycles(wsRes.Trace), analysis.InferOptions{})
-	fmt.Print(analysis.RenderRelations(rels))
-
-	// --- Section 5.5 ---
-	header("Section 5.5: timers merged into the CPU dispatcher")
-	dispatcherExperiment()
-
-	// --- Related work [4] ---
-	header("Related work: soft timers (Aron & Druschel) on this substrate")
-	softTimerExperiment()
 }
+
+// ---------------------------------------------------------------------------
+// Bench report: machine-readable wall-clock timings (BENCH_experiments.json).
+
+type runTiming struct {
+	run     time.Duration
+	analyze time.Duration
+	records int
+}
+
+type benchConfig struct {
+	Seed            int64  `json:"seed"`
+	VirtualPerTrace string `json:"virtual_per_trace"`
+	Quick           bool   `json:"quick"`
+	Workers         int    `json:"workers"` // 0 = GOMAXPROCS
+	GOMAXPROCS      int    `json:"gomaxprocs"`
+}
+
+type benchRun struct {
+	OS            string  `json:"os"`
+	Workload      string  `json:"workload"`
+	Virtual       string  `json:"virtual"`
+	RunMS         float64 `json:"run_ms"`
+	AnalyzeMS     float64 `json:"analyze_ms"`
+	Records       int     `json:"records"`
+	RecordsPerSec float64 `json:"records_per_sec"` // analysis throughput
+}
+
+type benchSection struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+type benchTotals struct {
+	// ComputeWallMS is the observed wall-clock of the parallel run+analyze
+	// phase; RunWallSumMS is what the same work costs serially (sum over
+	// runs). Their ratio estimates the fan-out speedup on this host — but
+	// only when workers <= GOMAXPROCS: an oversubscribed pool time-slices,
+	// each run's wall then includes its neighbours' work, and the ratio
+	// overstates. SpeedupVsSerial is 0 in that case.
+	ComputeWallMS   float64 `json:"compute_wall_ms"`
+	RunWallSumMS    float64 `json:"run_wall_sum_ms"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial_estimate,omitempty"`
+	RecordsAnalyzed int     `json:"records_analyzed"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+}
+
+type benchReport struct {
+	Config   benchConfig    `json:"config"`
+	Runs     []benchRun     `json:"runs"`
+	Sections []benchSection `json:"sections"`
+	Totals   benchTotals    `json:"totals"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// section times fn and records it; with a nil receiver it just runs fn.
+func (b *benchReport) section(name string, fn func()) {
+	if b == nil {
+		fn()
+		return
+	}
+	t0 := time.Now()
+	fn()
+	b.Sections = append(b.Sections, benchSection{Name: name, WallMS: ms(time.Since(t0))})
+}
+
+// recordCompute folds the per-spec timings of one computeExperiments call
+// into the report. Nil-safe.
+func (b *benchReport) recordCompute(specs []workloads.Spec, timings []runTiming, workers int, wall time.Duration) {
+	if b == nil {
+		return
+	}
+	b.Config.Workers = workers
+	var sum time.Duration
+	var records int
+	for i, s := range specs {
+		t := timings[i]
+		sum += t.run + t.analyze
+		records += t.records
+		perSec := 0.0
+		if t.analyze > 0 {
+			perSec = float64(t.records) / t.analyze.Seconds()
+		}
+		b.Runs = append(b.Runs, benchRun{
+			OS:            s.OS,
+			Workload:      s.Name,
+			Virtual:       s.Cfg.Duration.String(),
+			RunMS:         ms(t.run),
+			AnalyzeMS:     ms(t.analyze),
+			Records:       t.records,
+			RecordsPerSec: perSec,
+		})
+	}
+	b.Totals.ComputeWallMS = ms(wall)
+	b.Totals.RunWallSumMS = ms(sum)
+	if wall > 0 && workers <= runtime.GOMAXPROCS(0) {
+		b.Totals.SpeedupVsSerial = float64(sum) / float64(wall)
+	}
+	b.Totals.RecordsAnalyzed = records
+	if wall > 0 {
+		b.Totals.RecordsPerSec = float64(records) / wall.Seconds()
+	}
+}
+
+func (b *benchReport) writeFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ---------------------------------------------------------------------------
 
 // dispatcherExperiment contrasts the observed poll-loop idiom with declared
 // dispatch requirements (the Section 5.5 design).
@@ -258,7 +497,7 @@ func softTimerExperiment() {
 		st.OverflowInterrupts, st.SoftFired, st.MeanLatency(), st.MaxLatency)
 }
 
-func printSummaries(arts []artifacts, clustered bool) {
+func printSummaries(w io.Writer, arts []artifacts, clustered bool) {
 	names := make([]string, len(arts))
 	sums := make([]analysis.Summary, len(arts))
 	for i, a := range arts {
@@ -268,7 +507,7 @@ func printSummaries(arts []artifacts, clustered bool) {
 			sums[i].Timers = a.summary.ClusteredTimers
 		}
 	}
-	fmt.Print(analysis.RenderSummaryTable("", names, sums))
+	fmt.Fprint(w, analysis.RenderSummaryTable("", names, sums))
 }
 
 // mergeOrigins combines the per-workload origin tables into one Table 3.

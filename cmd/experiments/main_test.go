@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"timerstudy/internal/analysis"
+	"timerstudy/internal/sim"
+)
+
+// goldenDuration keeps the determinism test fast; the property it checks is
+// duration-independent (every run owns its engine and seeded rand).
+const goldenDuration = 30 * sim.Second
+
+// TestParallelMatchesSerial is the tentpole's golden test: the rendered
+// tables and figures from a saturated worker pool must be byte-identical to
+// a serial run.
+func TestParallelMatchesSerial(t *testing.T) {
+	render := func(workers int) []byte {
+		set := computeExperiments(1, goldenDuration, workers, nil)
+		var buf bytes.Buffer
+		writeFigures(&buf, set, nil)
+		fmt.Fprint(&buf, analysis.RenderRelations(set.relations))
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		sl, pl := bytes.Split(serial, []byte("\n")), bytes.Split(parallel, []byte("\n"))
+		for i := 0; i < len(sl) && i < len(pl); i++ {
+			if !bytes.Equal(sl[i], pl[i]) {
+				t.Fatalf("output diverges at line %d:\nserial:   %s\nparallel: %s", i+1, sl[i], pl[i])
+			}
+		}
+		t.Fatalf("output lengths differ: serial %d lines, parallel %d lines", len(sl), len(pl))
+	}
+}
+
+// TestBenchReportShape checks the -bench recorder captures one entry per
+// evaluation trace plus per-section timings, with sane totals.
+func TestBenchReportShape(t *testing.T) {
+	bench := &benchReport{}
+	set := computeExperiments(1, goldenDuration, 2, bench)
+	writeFigures(&bytes.Buffer{}, set, bench)
+
+	if len(bench.Runs) != 10 {
+		t.Fatalf("runs = %d, want 10 (9 evaluation traces + webserver relations)", len(bench.Runs))
+	}
+	for _, r := range bench.Runs {
+		if r.Records <= 0 || r.RunMS < 0 || r.AnalyzeMS < 0 {
+			t.Fatalf("implausible run entry: %+v", r)
+		}
+	}
+	if len(bench.Sections) == 0 {
+		t.Fatalf("no sections recorded")
+	}
+	if bench.Totals.ComputeWallMS <= 0 || bench.Totals.RunWallSumMS <= 0 {
+		t.Fatalf("totals not filled: %+v", bench.Totals)
+	}
+	if bench.Totals.RecordsAnalyzed <= 0 {
+		t.Fatalf("records not summed: %+v", bench.Totals)
+	}
+}

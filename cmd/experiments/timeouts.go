@@ -25,4 +25,7 @@ const (
 	housekeepingPeriod = sim.Second
 	// coalesceSlack: the 300 ms slack window the coalescing experiment grants each ticker.
 	coalesceSlack = 300 * sim.Millisecond
+	// relationsTraceDuration: the Section 5.2 relation-inference webserver
+	// trace length — long enough for per-connection timer chains to repeat.
+	relationsTraceDuration = 3 * sim.Minute
 )

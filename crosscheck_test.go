@@ -1,0 +1,102 @@
+package timerstudy
+
+import (
+	"testing"
+
+	"timerstudy/internal/analysis"
+	"timerstudy/internal/sim"
+	"timerstudy/internal/workloads"
+)
+
+// crosscheckDuration keeps the nine-trace sweep fast while still producing
+// tens of thousands of records per trace.
+const crosscheckDuration = 60 * sim.Second
+
+// TestSummarizeMatchesLifecycles pins the two counting paths to each other
+// on every evaluation workload: the summary's raw-record totals must equal
+// the same quantities derived from the reconstructed per-timer uses. Before
+// the two were unified into one walk they could drift silently; this keeps
+// them honest even if they ever diverge again.
+func TestSummarizeMatchesLifecycles(t *testing.T) {
+	specs := workloads.EvaluationSpecs(workloads.Config{Seed: 1, Duration: crosscheckDuration})
+	workloads.ForEach(specs, 0, func(_ int, res *workloads.Result) {
+		s := analysis.Summarize(res.Trace)
+		var sets, expires, cancels, ops uint64
+		var timers int
+		for _, tl := range analysis.Lifecycles(res.Trace) {
+			timers++
+			ops += uint64(tl.Ops)
+			sets += uint64(len(tl.Uses))
+			cancels += uint64(tl.NoopCancels)
+			expires += uint64(tl.OrphanExpires)
+			for _, u := range tl.Uses {
+				switch u.End {
+				case analysis.EndExpired:
+					expires++
+				case analysis.EndCanceled:
+					cancels++
+				}
+			}
+		}
+		if sets != s.Set || expires != s.Expired || cancels != s.Canceled {
+			t.Errorf("%s/%s: use-derived set/expire/cancel = %d/%d/%d, summary says %d/%d/%d",
+				res.OS, res.Name, sets, expires, cancels, s.Set, s.Expired, s.Canceled)
+		}
+		if ops != s.Accesses {
+			t.Errorf("%s/%s: use-derived accesses = %d, summary says %d",
+				res.OS, res.Name, ops, s.Accesses)
+		}
+		if timers != s.Timers {
+			t.Errorf("%s/%s: lifecycle count = %d, summary says %d timers",
+				res.OS, res.Name, timers, s.Timers)
+		}
+		if s.Set == 0 {
+			t.Errorf("%s/%s: empty trace, cross-check vacuous", res.OS, res.Name)
+		}
+	})
+}
+
+// TestPipelineMatchesLegacyOnWorkload re-runs the drift guard on a real
+// workload trace (the synthetic-trace version lives in internal/analysis).
+func TestPipelineMatchesLegacyOnWorkload(t *testing.T) {
+	res := workloads.RunLinux(workloads.Webserver, workloads.Config{Seed: 1, Duration: crosscheckDuration})
+	sOpts := analysis.DefaultScatterOptions()
+	sOpts.ExcludeProcesses = []string{"Xorg", "icewm"}
+	vPlain := analysis.ValueOptions{JiffyBinKernel: true, MinSharePercent: 2}
+	rep := analysis.Pipeline{
+		Values: vPlain, Scatter: &sOpts, OriginMinSets: 50,
+	}.Run(res.Trace)
+
+	ls := analysis.Lifecycles(res.Trace)
+	if got, want := rep.Summary, analysis.Summarize(res.Trace); got != want {
+		t.Fatalf("summary drift: %+v != %+v", got, want)
+	}
+	wantV, wantT := analysis.CommonValues(ls, vPlain)
+	if rep.ValuesTotal != wantT || len(rep.Values) != len(wantV) {
+		t.Fatalf("values drift: %d entries/%d total vs %d/%d",
+			len(rep.Values), rep.ValuesTotal, len(wantV), wantT)
+	}
+	for i := range wantV {
+		if rep.Values[i] != wantV[i] {
+			t.Fatalf("values[%d] drift: %+v != %+v", i, rep.Values[i], wantV[i])
+		}
+	}
+	wantS := analysis.Scatter(ls, sOpts)
+	if len(rep.Scatter) != len(wantS) {
+		t.Fatalf("scatter drift: %d points vs %d", len(rep.Scatter), len(wantS))
+	}
+	for i := range wantS {
+		if rep.Scatter[i] != wantS[i] {
+			t.Fatalf("scatter[%d] drift: %+v != %+v", i, rep.Scatter[i], wantS[i])
+		}
+	}
+	wantO := analysis.OriginTable(ls, 50)
+	if len(rep.Origins) != len(wantO) {
+		t.Fatalf("origins drift: %d rows vs %d", len(rep.Origins), len(wantO))
+	}
+	for i := range wantO {
+		if rep.Origins[i] != wantO[i] {
+			t.Fatalf("origins[%d] drift: %+v != %+v", i, rep.Origins[i], wantO[i])
+		}
+	}
+}

@@ -170,15 +170,21 @@ func (s ClassShares) Share(c Class) float64 {
 	return 100 * float64(s.Counts[c]) / float64(s.Total)
 }
 
+// observe tallies one timer under its class. Lifecycles with no uses at all
+// (init-only) are skipped.
+func (s *ClassShares) observe(tl *TimerLife, class Class) {
+	if len(tl.Uses) == 0 {
+		return
+	}
+	s.Counts[class]++
+	s.Total++
+}
+
 // ComputeClassShares classifies every lifecycle and tallies shares.
 func ComputeClassShares(ls []*TimerLife) ClassShares {
 	var s ClassShares
 	for _, tl := range ls {
-		if len(tl.Uses) == 0 {
-			continue
-		}
-		s.Counts[Classify(tl)]++
-		s.Total++
+		s.observe(tl, Classify(tl))
 	}
 	return s
 }

@@ -7,6 +7,7 @@
 package analysis
 
 import (
+	"fmt"
 	"sort"
 
 	"timerstudy/internal/sim"
@@ -36,8 +37,14 @@ const (
 
 var endNames = [...]string{"dangling", "expired", "canceled", "reset"}
 
-// String returns the lower-case end-kind name.
-func (e EndKind) String() string { return endNames[e] }
+// String returns the lower-case end-kind name; out-of-range values render as
+// "endkind(N)" rather than panicking, mirroring trace.Op.String.
+func (e EndKind) String() string {
+	if int(e) < len(endNames) {
+		return endNames[e]
+	}
+	return fmt.Sprintf("endkind(%d)", uint8(e))
+}
 
 // Use is one armed interval in a timer's life.
 type Use struct {
@@ -89,11 +96,23 @@ type TimerLife struct {
 	Uses []Use
 	// Ops counts raw operations on this timer (including no-op cancels).
 	Ops int
+	// NoopCancels counts cancels that found no pending interval (the paper
+	// saw repeated deletions of idle timers); they contribute to Ops and the
+	// summary's Canceled total but produce no Use.
+	NoopCancels int
+	// OrphanExpires counts expiries that found no pending interval (possible
+	// only in adversarial traces); like NoopCancels they are accesses without
+	// an interval.
+	OrphanExpires int
 }
 
-// Lifecycles reconstructs per-timer histories from a trace. Records must be
-// in time order (trace buffers append in execution order, so they are).
-func Lifecycles(tr *trace.Buffer) []*TimerLife {
+// buildLifecycles is the single shared walk over the raw record stream: it
+// reconstructs per-timer histories AND tallies the Table 1/2 summary in the
+// same pass, so the raw-record counts and the lifecycle-derived analyses can
+// never drift apart. Records must be in time order (trace buffers append in
+// execution order, so they are).
+func buildLifecycles(tr *trace.Buffer) ([]*TimerLife, Summary) {
+	var sum Summary
 	byID := make(map[uint64]*TimerLife)
 	order := make([]uint64, 0, 64)
 	get := func(r trace.Record) *TimerLife {
@@ -114,14 +133,27 @@ func Lifecycles(tr *trace.Buffer) []*TimerLife {
 		}
 		return tl
 	}
+	type cluster struct {
+		origin uint32
+		pid    int32
+	}
+	clusters := make(map[cluster]bool)
 	open := make(map[uint64]int) // timer id -> index of open use
 	for _, r := range tr.Records() {
 		tl := get(r)
 		tl.Ops++
+		sum.Accesses++
+		clusters[cluster{r.Origin, r.PID}] = true
+		if r.IsUser() {
+			sum.UserSpace++
+		} else {
+			sum.Kernel++
+		}
 		switch r.Op {
 		case trace.OpInit:
 			// Initialization only; no interval.
 		case trace.OpSet, trace.OpWait:
+			sum.Set++
 			if i, ok := open[r.TimerID]; ok {
 				u := &tl.Uses[i]
 				u.EndAt = r.T
@@ -134,30 +166,47 @@ func Lifecycles(tr *trace.Buffer) []*TimerLife {
 				IsWait:  r.Op == trace.OpWait,
 			})
 			open[r.TimerID] = len(tl.Uses) - 1
+			if len(open) > sum.Concurrency {
+				sum.Concurrency = len(open)
+			}
 		case trace.OpCancel:
+			sum.Canceled++
 			if i, ok := open[r.TimerID]; ok {
 				u := &tl.Uses[i]
 				u.EndAt = r.T
 				u.End = EndCanceled
 				u.Satisfied = r.Flags&trace.FlagSatisfied != 0
 				delete(open, r.TimerID)
+			} else {
+				// Cancels of idle timers count as ops but produce no
+				// interval.
+				tl.NoopCancels++
 			}
-			// Cancels of idle timers (the paper saw repeated deletions)
-			// count as ops but produce no interval.
 		case trace.OpExpire:
+			sum.Expired++
 			if i, ok := open[r.TimerID]; ok {
 				u := &tl.Uses[i]
 				u.EndAt = r.T
 				u.End = EndExpired
 				delete(open, r.TimerID)
+			} else {
+				tl.OrphanExpires++
 			}
 		}
 	}
+	sum.Timers = len(order)
+	sum.ClusteredTimers = len(clusters)
 	out := make([]*TimerLife, 0, len(order))
 	for _, id := range order {
 		out = append(out, byID[id])
 	}
-	return out
+	return out, sum
+}
+
+// Lifecycles reconstructs per-timer histories from a trace.
+func Lifecycles(tr *trace.Buffer) []*TimerLife {
+	ls, _ := buildLifecycles(tr)
+	return ls
 }
 
 // SortByOps orders lifecycles by descending operation count (then ID for

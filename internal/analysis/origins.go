@@ -22,57 +22,70 @@ type OriginRow struct {
 	Timers int
 }
 
-// OriginTable groups lifecycles by origin, finds each origin's modal
-// timeout value and dominant class, and returns rows sorted by value then
-// origin — the shape of Table 3. Origins with fewer than minSets sets are
-// dropped.
-func OriginTable(ls []*TimerLife, minSets int) []OriginRow {
-	type acc struct {
-		values map[sim.Duration]int
-		class  [nClasses]int
-		sets   int
-		timers int
+// originAcc accumulates Table 3; it is the single implementation behind
+// OriginTable and the pipeline. The caller supplies each timer's class so
+// classification can be computed once and shared with the Figure 2 tally.
+type originAcc struct {
+	minSets  int
+	vo       ValueOptions
+	byOrigin map[string]*originStats
+}
+
+type originStats struct {
+	values map[sim.Duration]int
+	class  [nClasses]int
+	sets   int
+	timers int
+}
+
+func newOriginAcc(minSets int) *originAcc {
+	return &originAcc{
+		minSets:  minSets,
+		vo:       ValueOptions{JiffyBinKernel: true},
+		byOrigin: make(map[string]*originStats),
 	}
-	byOrigin := make(map[string]*acc)
-	vo := ValueOptions{JiffyBinKernel: true}
-	for _, tl := range ls {
-		if len(tl.Uses) == 0 {
-			continue
-		}
-		a, ok := byOrigin[tl.Origin]
-		if !ok {
-			a = &acc{values: map[sim.Duration]int{}}
-			byOrigin[tl.Origin] = a
-		}
-		a.timers++
-		a.class[Classify(tl)]++
-		for _, u := range tl.Uses {
-			b, _ := vo.bin(tl, u.Timeout)
-			a.values[b]++
-			a.sets++
-		}
+}
+
+func (a *originAcc) observe(tl *TimerLife, class Class) {
+	if len(tl.Uses) == 0 {
+		return
 	}
-	rows := make([]OriginRow, 0, len(byOrigin))
-	for origin, a := range byOrigin {
-		if a.sets < minSets {
+	s, ok := a.byOrigin[tl.Origin]
+	if !ok {
+		s = &originStats{values: map[sim.Duration]int{}}
+		a.byOrigin[tl.Origin] = s
+	}
+	s.timers++
+	s.class[class]++
+	for _, u := range tl.Uses {
+		b, _ := a.vo.bin(tl, u.Timeout)
+		s.values[b]++
+		s.sets++
+	}
+}
+
+func (a *originAcc) finish() []OriginRow {
+	rows := make([]OriginRow, 0, len(a.byOrigin))
+	for origin, s := range a.byOrigin {
+		if s.sets < a.minSets {
 			continue
 		}
 		var modal sim.Duration
 		best := -1
-		for v, c := range a.values {
+		for v, c := range s.values {
 			if c > best || (c == best && v < modal) {
 				modal, best = v, c
 			}
 		}
 		classBest, class := -1, ClassOther
-		for c := range a.class {
-			if a.class[c] > classBest {
-				classBest, class = a.class[c], Class(c)
+		for c := range s.class {
+			if s.class[c] > classBest {
+				classBest, class = s.class[c], Class(c)
 			}
 		}
 		rows = append(rows, OriginRow{
 			Value: modal, Origin: origin, Class: class,
-			Sets: a.sets, Timers: a.timers,
+			Sets: s.sets, Timers: s.timers,
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -82,4 +95,16 @@ func OriginTable(ls []*TimerLife, minSets int) []OriginRow {
 		return rows[i].Origin < rows[j].Origin
 	})
 	return rows
+}
+
+// OriginTable groups lifecycles by origin, finds each origin's modal
+// timeout value and dominant class, and returns rows sorted by value then
+// origin — the shape of Table 3. Origins with fewer than minSets sets are
+// dropped.
+func OriginTable(ls []*TimerLife, minSets int) []OriginRow {
+	a := newOriginAcc(minSets)
+	for _, tl := range ls {
+		a.observe(tl, Classify(tl))
+	}
+	return a.finish()
 }

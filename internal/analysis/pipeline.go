@@ -1,0 +1,137 @@
+package analysis
+
+import "timerstudy/internal/trace"
+
+// Pipeline computes every per-workload artifact of the paper's evaluation in
+// a single pass: one walk over the raw records (lifecycle reconstruction +
+// the Table 1/2 summary, via buildLifecycles) followed by one walk over the
+// lifecycles that feeds all selected accumulators at once — class shares
+// (Figure 2), up to three value histograms (Figures 3, 5, 6, 7), the
+// expiry/cancelation scatter (Figures 8-11), the per-process set series
+// (Figure 4), and the origin table (Table 3). Countdown-chain detection and
+// classification run at most once per timer and are shared by every
+// consumer.
+//
+// The accumulators are the same ones behind CommonValues, Scatter,
+// SetSeries, ComputeClassShares and OriginTable, so a pipeline run is
+// byte-for-byte equivalent to calling those six functions independently —
+// it just walks the data once instead of six times.
+type Pipeline struct {
+	// Values configures the headline histogram (Figures 3 and 7).
+	Values ValueOptions
+	// ValuesFiltered, if non-nil, adds the Figure 5 histogram (typically
+	// X/icewm filtered with countdowns collapsed).
+	ValuesFiltered *ValueOptions
+	// ValuesUser, if non-nil, adds the Figure 6 histogram (user-space only).
+	ValuesUser *ValueOptions
+	// Scatter, if non-nil, adds the Figures 8-11 aggregation.
+	Scatter *ScatterOptions
+	// SeriesProcess, if non-empty, adds the Figure 4 set series for that
+	// process.
+	SeriesProcess string
+	// OriginMinSets, if positive, adds the Table 3 origin rows with that
+	// minimum set count.
+	OriginMinSets int
+}
+
+// Report is everything one Pipeline run produced.
+type Report struct {
+	// Summary is the Table 1/2 column, counted over the raw record stream.
+	Summary Summary
+	// Lifecycles are the reconstructed per-timer histories the rest of the
+	// report was computed from.
+	Lifecycles []*TimerLife
+	// Shares is the Figure 2 usage-pattern tally.
+	Shares ClassShares
+	// Values/ValuesFiltered/ValuesUser are the requested histograms with
+	// their total (pre-threshold) sample counts.
+	Values              []ValueEntry
+	ValuesTotal         int
+	ValuesFiltered      []ValueEntry
+	ValuesFilteredTotal int
+	ValuesUser          []ValueEntry
+	ValuesUserTotal     int
+	// Scatter is the Figures 8-11 aggregation (nil unless requested).
+	Scatter []ScatterPoint
+	// Series is the Figure 4 set series (nil unless requested).
+	Series []SeriesPoint
+	// Origins is the Table 3 listing (nil unless requested).
+	Origins []OriginRow
+}
+
+// Run executes the pipeline over one trace.
+func (p Pipeline) Run(tr *trace.Buffer) *Report {
+	ls, sum := buildLifecycles(tr)
+	rep := &Report{Summary: sum, Lifecycles: ls}
+
+	values := newValueAcc(p.Values)
+	var valuesF, valuesU *valueAcc
+	if p.ValuesFiltered != nil {
+		valuesF = newValueAcc(*p.ValuesFiltered)
+	}
+	if p.ValuesUser != nil {
+		valuesU = newValueAcc(*p.ValuesUser)
+	}
+	var scatter *scatterAcc
+	if p.Scatter != nil {
+		scatter = newScatterAcc(*p.Scatter)
+	}
+	var series *seriesAcc
+	if p.SeriesProcess != "" {
+		series = &seriesAcc{process: p.SeriesProcess}
+	}
+	var origins *originAcc
+	if p.OriginMinSets > 0 {
+		origins = newOriginAcc(p.OriginMinSets)
+	}
+
+	for _, tl := range ls {
+		tl := tl
+		// Chains and class are computed at most once per timer, on demand.
+		var chains []Chain
+		chainsDone := false
+		getChains := func() []Chain {
+			if !chainsDone {
+				chains, chainsDone = CountdownChains(tl), true
+			}
+			return chains
+		}
+		class := Classify(tl)
+
+		rep.Shares.observe(tl, class)
+		values.observe(tl, getChains)
+		if valuesF != nil {
+			valuesF.observe(tl, getChains)
+		}
+		if valuesU != nil {
+			valuesU.observe(tl, getChains)
+		}
+		if scatter != nil {
+			scatter.observe(tl)
+		}
+		if series != nil {
+			series.observe(tl)
+		}
+		if origins != nil {
+			origins.observe(tl, class)
+		}
+	}
+
+	rep.Values, rep.ValuesTotal = values.finish()
+	if valuesF != nil {
+		rep.ValuesFiltered, rep.ValuesFilteredTotal = valuesF.finish()
+	}
+	if valuesU != nil {
+		rep.ValuesUser, rep.ValuesUserTotal = valuesU.finish()
+	}
+	if scatter != nil {
+		rep.Scatter = scatter.finish()
+	}
+	if series != nil {
+		rep.Series = series.finish()
+	}
+	if origins != nil {
+		rep.Origins = origins.finish()
+	}
+	return rep
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// richTrace builds a trace exercising every pipeline path: kernel periodic,
+// user watchdog, a countdown chain, RPC-style timeouts, waits, no-op cancels
+// and an init-only timer.
+func richTrace() *trace.Buffer {
+	b := newTB()
+	// Kernel periodic ticker.
+	t0 := sim.Duration(0)
+	for i := 0; i < 30; i++ {
+		b.log(t0, trace.OpSet, 1, 5*sim.Second, "kernel/writeback", 0)
+		t0 += 5 * sim.Second
+		b.log(t0, trace.OpExpire, 1, 0, "kernel/writeback", 0)
+	}
+	// User watchdog, endlessly deferred.
+	for i := 0; i < 20; i++ {
+		b.log(sim.Duration(i)*2*sim.Second, trace.OpSet, 2, 10*sim.Second, "icewm/blank", trace.FlagUser)
+	}
+	// X-style countdown from 60 s.
+	v := 60 * sim.Second
+	t0 = 0
+	for v > 0 {
+		b.log(t0, trace.OpSet, 3, v, "Xorg/select", trace.FlagUser)
+		b.log(t0+10*sim.Second, trace.OpCancel, 3, 0, "Xorg/select", trace.FlagUser)
+		t0 += 10 * sim.Second
+		v -= 10 * sim.Second
+	}
+	// RPC timeout: set, canceled early, plus a trailing no-op cancel.
+	t0 = 0
+	for i := 0; i < 15; i++ {
+		b.log(t0, trace.OpSet, 4, 30*sim.Second, "rpc/call", trace.FlagUser)
+		b.log(t0+130*sim.Millisecond, trace.OpCancel, 4, 0, "rpc/call", trace.FlagUser)
+		b.log(t0+140*sim.Millisecond, trace.OpCancel, 4, 0, "rpc/call", trace.FlagUser)
+		t0 += 2 * sim.Second
+	}
+	// A wait loop that always times out.
+	t0 = 0
+	for i := 0; i < 12; i++ {
+		b.log(t0, trace.OpWait, 5, 250*sim.Millisecond, "svc/wait", trace.FlagUser)
+		t0 += 250 * sim.Millisecond
+		b.log(t0, trace.OpExpire, 5, 0, "svc/wait", trace.FlagUser)
+	}
+	// Init-only timer: accesses but no uses.
+	b.log(0, trace.OpInit, 6, 0, "kernel/idle", 0)
+	return b.tr
+}
+
+// TestPipelineMatchesIndependentPasses is the drift guard: one Pipeline.Run
+// must equal the six independent walks it replaces, field for field.
+func TestPipelineMatchesIndependentPasses(t *testing.T) {
+	tr := richTrace()
+	vPlain := ValueOptions{JiffyBinKernel: true, MinSharePercent: 2}
+	vFilt := ValueOptions{
+		JiffyBinKernel: true, MinSharePercent: 2,
+		CollapseCountdowns: true, ExcludeProcesses: []string{"Xorg", "icewm"},
+	}
+	vUser := ValueOptions{UserOnly: true, MinSharePercent: 2, CollapseCountdowns: true}
+	sOpts := DefaultScatterOptions()
+	sOpts.ExcludeProcesses = []string{"Xorg", "icewm"}
+
+	rep := Pipeline{
+		Values:         vPlain,
+		ValuesFiltered: &vFilt,
+		ValuesUser:     &vUser,
+		Scatter:        &sOpts,
+		SeriesProcess:  "Xorg",
+		OriginMinSets:  10,
+	}.Run(tr)
+
+	ls := Lifecycles(tr)
+	if got, want := rep.Summary, Summarize(tr); got != want {
+		t.Fatalf("summary drift: %+v != %+v", got, want)
+	}
+	if got, want := rep.Shares, ComputeClassShares(ls); got != want {
+		t.Fatalf("shares drift: %+v != %+v", got, want)
+	}
+	check := func(name string, gotE []ValueEntry, gotT int, opts ValueOptions) {
+		t.Helper()
+		wantE, wantT := CommonValues(ls, opts)
+		if gotT != wantT || !reflect.DeepEqual(gotE, wantE) {
+			t.Fatalf("%s drift: %+v (%d) != %+v (%d)", name, gotE, gotT, wantE, wantT)
+		}
+	}
+	check("values", rep.Values, rep.ValuesTotal, vPlain)
+	check("values-filtered", rep.ValuesFiltered, rep.ValuesFilteredTotal, vFilt)
+	check("values-user", rep.ValuesUser, rep.ValuesUserTotal, vUser)
+	if want := Scatter(ls, sOpts); !reflect.DeepEqual(rep.Scatter, want) {
+		t.Fatalf("scatter drift: %+v != %+v", rep.Scatter, want)
+	}
+	if want := SetSeries(ls, "Xorg"); !reflect.DeepEqual(rep.Series, want) {
+		t.Fatalf("series drift: %+v != %+v", rep.Series, want)
+	}
+	if want := OriginTable(ls, 10); !reflect.DeepEqual(rep.Origins, want) {
+		t.Fatalf("origins drift: %+v != %+v", rep.Origins, want)
+	}
+}
+
+// TestPipelineSkipsUnrequestedArtifacts checks the nil/zero options leave
+// their report fields empty.
+func TestPipelineSkipsUnrequestedArtifacts(t *testing.T) {
+	rep := Pipeline{Values: ValueOptions{MinSharePercent: 2}}.Run(richTrace())
+	if rep.ValuesFiltered != nil || rep.ValuesUser != nil || rep.Scatter != nil ||
+		rep.Series != nil || rep.Origins != nil {
+		t.Fatalf("unrequested artifacts computed: %+v", rep)
+	}
+	if len(rep.Values) == 0 || rep.Summary.Accesses == 0 || rep.Shares.Total == 0 {
+		t.Fatalf("requested artifacts missing: %+v", rep)
+	}
+}
+
+// TestSummarizeMatchesUseDerivedTotals cross-checks the raw-record totals
+// against sums derived from the reconstructed uses, on a trace with no-op
+// cancels in it.
+func TestSummarizeMatchesUseDerivedTotals(t *testing.T) {
+	tr := richTrace()
+	s := Summarize(tr)
+	var sets, expires, cancels, ops uint64
+	for _, tl := range Lifecycles(tr) {
+		ops += uint64(tl.Ops)
+		sets += uint64(len(tl.Uses))
+		cancels += uint64(tl.NoopCancels)
+		expires += uint64(tl.OrphanExpires)
+		for _, u := range tl.Uses {
+			switch u.End {
+			case EndExpired:
+				expires++
+			case EndCanceled:
+				cancels++
+			}
+		}
+	}
+	if sets != s.Set || expires != s.Expired || cancels != s.Canceled || ops != s.Accesses {
+		t.Fatalf("derived set/expire/cancel/ops = %d/%d/%d/%d, summary = %d/%d/%d/%d",
+			sets, expires, cancels, ops, s.Set, s.Expired, s.Canceled, s.Accesses)
+	}
+}
+
+func TestEndKindString(t *testing.T) {
+	for i, want := range []string{"dangling", "expired", "canceled", "reset"} {
+		if got := EndKind(i).String(); got != want {
+			t.Fatalf("EndKind(%d) = %q, want %q", i, got, want)
+		}
+	}
+	// Out-of-range values must not panic (they used to index past endNames).
+	if got := EndKind(99).String(); got != "endkind(99)" {
+		t.Fatalf("EndKind(99) = %q", got)
+	}
+}

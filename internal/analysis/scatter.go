@@ -39,10 +39,20 @@ func DefaultScatterOptions() ScatterOptions {
 	return ScatterOptions{CutoffPct: 250, LogBinsPerDecade: 5, RatioBinPct: 10}
 }
 
-// Scatter aggregates every completed use into (timeout, ratio) bins.
-// Timers set to expire immediately or in the past are not plotted, as in
-// the paper.
-func Scatter(ls []*TimerLife, opts ScatterOptions) []ScatterPoint {
+type scatterKey struct {
+	x int
+	y int
+}
+
+// scatterAcc aggregates completed uses into (timeout, ratio) bins; it is the
+// single implementation behind Scatter and the pipeline.
+type scatterAcc struct {
+	opts ScatterOptions
+	vo   ValueOptions
+	agg  map[scatterKey]*ScatterPoint
+}
+
+func newScatterAcc(opts ScatterOptions) *scatterAcc {
 	if opts.CutoffPct == 0 {
 		opts.CutoffPct = 250
 	}
@@ -52,45 +62,48 @@ func Scatter(ls []*TimerLife, opts ScatterOptions) []ScatterPoint {
 	if opts.RatioBinPct == 0 {
 		opts.RatioBinPct = 10
 	}
-	vo := ValueOptions{ExcludeProcesses: opts.ExcludeProcesses}
-	type key struct {
-		x int
-		y int
+	return &scatterAcc{
+		opts: opts,
+		vo:   ValueOptions{ExcludeProcesses: opts.ExcludeProcesses},
+		agg:  make(map[scatterKey]*ScatterPoint),
 	}
-	agg := make(map[key]*ScatterPoint)
-	for _, tl := range ls {
-		if vo.excluded(tl) {
+}
+
+func (a *scatterAcc) observe(tl *TimerLife) {
+	if a.vo.excluded(tl) {
+		return
+	}
+	for _, u := range tl.Uses {
+		ratio, ok := u.Ratio()
+		if !ok {
 			continue
 		}
-		for _, u := range tl.Uses {
-			ratio, ok := u.Ratio()
-			if !ok {
-				continue
+		pct := ratio * 100
+		if pct > a.opts.CutoffPct {
+			continue
+		}
+		lx := math.Log10(u.Timeout.Seconds())
+		xb := int(math.Floor(lx * float64(a.opts.LogBinsPerDecade)))
+		yb := int(math.Floor(pct / a.opts.RatioBinPct))
+		k := scatterKey{xb, yb}
+		p, okk := a.agg[k]
+		if !okk {
+			p = &ScatterPoint{
+				Timeout:  sim.DurationOfSeconds(math.Pow(10, float64(xb)/float64(a.opts.LogBinsPerDecade))),
+				RatioPct: float64(yb) * a.opts.RatioBinPct,
 			}
-			pct := ratio * 100
-			if pct > opts.CutoffPct {
-				continue
-			}
-			lx := math.Log10(u.Timeout.Seconds())
-			xb := int(math.Floor(lx * float64(opts.LogBinsPerDecade)))
-			yb := int(math.Floor(pct / opts.RatioBinPct))
-			k := key{xb, yb}
-			p, okk := agg[k]
-			if !okk {
-				p = &ScatterPoint{
-					Timeout:  sim.DurationOfSeconds(math.Pow(10, float64(xb)/float64(opts.LogBinsPerDecade))),
-					RatioPct: float64(yb) * opts.RatioBinPct,
-				}
-				agg[k] = p
-			}
-			p.Count++
-			if u.End == EndExpired {
-				p.Expired++
-			}
+			a.agg[k] = p
+		}
+		p.Count++
+		if u.End == EndExpired {
+			p.Expired++
 		}
 	}
-	out := make([]ScatterPoint, 0, len(agg))
-	for _, p := range agg {
+}
+
+func (a *scatterAcc) finish() []ScatterPoint {
+	out := make([]ScatterPoint, 0, len(a.agg))
+	for _, p := range a.agg {
 		out = append(out, *p)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -100,4 +113,15 @@ func Scatter(ls []*TimerLife, opts ScatterOptions) []ScatterPoint {
 		return out[i].RatioPct < out[j].RatioPct
 	})
 	return out
+}
+
+// Scatter aggregates every completed use into (timeout, ratio) bins.
+// Timers set to expire immediately or in the past are not plotted, as in
+// the paper.
+func Scatter(ls []*TimerLife, opts ScatterOptions) []ScatterPoint {
+	a := newScatterAcc(opts)
+	for _, tl := range ls {
+		a.observe(tl)
+	}
+	return a.finish()
 }

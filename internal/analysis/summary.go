@@ -28,45 +28,12 @@ type Summary struct {
 	Canceled uint64
 }
 
-// Summarize computes the trace summary. It uses the raw record stream so
-// that no-op cancels and re-sets count as accesses, as the paper's
-// instrumentation counts calls.
+// Summarize computes the trace summary. It counts over the raw record
+// stream — no-op cancels and re-sets count as accesses, as the paper's
+// instrumentation counts calls — via the same single walk that reconstructs
+// lifecycles (buildLifecycles), so the summary and every lifecycle-derived
+// analysis agree by construction.
 func Summarize(tr *trace.Buffer) Summary {
-	var s Summary
-	seen := make(map[uint64]bool)
-	type cluster struct {
-		origin uint32
-		pid    int32
-	}
-	clusters := make(map[cluster]bool)
-	pending := make(map[uint64]bool)
-	for _, r := range tr.Records() {
-		if !seen[r.TimerID] {
-			seen[r.TimerID] = true
-		}
-		clusters[cluster{r.Origin, r.PID}] = true
-		s.Accesses++
-		if r.IsUser() {
-			s.UserSpace++
-		} else {
-			s.Kernel++
-		}
-		switch r.Op {
-		case trace.OpSet, trace.OpWait:
-			s.Set++
-			pending[r.TimerID] = true
-			if len(pending) > s.Concurrency {
-				s.Concurrency = len(pending)
-			}
-		case trace.OpExpire:
-			s.Expired++
-			delete(pending, r.TimerID)
-		case trace.OpCancel:
-			s.Canceled++
-			delete(pending, r.TimerID)
-		}
-	}
-	s.Timers = len(seen)
-	s.ClusteredTimers = len(clusters)
+	_, s := buildLifecycles(tr)
 	return s
 }

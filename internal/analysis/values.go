@@ -74,51 +74,91 @@ func (o ValueOptions) bin(tl *TimerLife, v sim.Duration) (sim.Duration, uint64) 
 	return binned, 0
 }
 
-// CommonValues computes the binned value histogram over all sets in the
-// lifecycles, applying the options' filters. It returns the entries at or
-// above the share threshold (sorted by value) and the total sample count.
-func CommonValues(ls []*TimerLife, opts ValueOptions) ([]ValueEntry, int) {
-	type key struct {
-		v sim.Duration
-		j uint64
+// chainProvider lazily supplies a timer's countdown chains. The pipeline
+// memoizes one computation per timer and shares it across every accumulator
+// that collapses countdowns.
+type chainProvider func() []Chain
+
+// valueAcc accumulates one common-value histogram. It is the single
+// implementation behind both CommonValues and the pipeline, so the two can
+// never disagree.
+type valueAcc struct {
+	opts   ValueOptions
+	counts map[valueKey]int
+	total  int
+}
+
+type valueKey struct {
+	v sim.Duration
+	j uint64
+}
+
+func newValueAcc(opts ValueOptions) *valueAcc {
+	return &valueAcc{opts: opts, counts: make(map[valueKey]int)}
+}
+
+func (a *valueAcc) add(tl *TimerLife, v sim.Duration) {
+	b, j := a.opts.bin(tl, v)
+	a.counts[valueKey{b, j}]++
+	a.total++
+}
+
+// observe folds one timer's uses into the histogram.
+func (a *valueAcc) observe(tl *TimerLife, chains chainProvider) {
+	if a.opts.excluded(tl) {
+		return
 	}
-	counts := make(map[key]int)
-	total := 0
-	add := func(tl *TimerLife, v sim.Duration) {
-		b, j := opts.bin(tl, v)
-		counts[key{b, j}]++
-		total++
-	}
-	for _, tl := range ls {
-		if opts.excluded(tl) {
-			continue
+	if a.opts.CollapseCountdowns {
+		cs := chains()
+		for _, chain := range cs {
+			a.add(tl, tl.Uses[chain.Start].Timeout)
+			// Chain members beyond the first are dropped.
 		}
-		if opts.CollapseCountdowns {
-			for _, chain := range CountdownChains(tl) {
-				add(tl, tl.Uses[chain.Start].Timeout)
-				// Chain members beyond the first are dropped.
-			}
-			for i, inChain := range chainMembership(tl) {
-				if !inChain {
-					add(tl, tl.Uses[i].Timeout)
-				}
-			}
-		} else {
-			for _, u := range tl.Uses {
-				add(tl, u.Timeout)
+		for i, inChain := range chainMembership(len(tl.Uses), cs) {
+			if !inChain {
+				a.add(tl, tl.Uses[i].Timeout)
 			}
 		}
+	} else {
+		for _, u := range tl.Uses {
+			a.add(tl, u.Timeout)
+		}
 	}
-	entries := make([]ValueEntry, 0, len(counts))
-	for k, c := range counts {
-		share := 100 * float64(c) / float64(total)
-		if share < opts.MinSharePercent {
+}
+
+// finish applies the share threshold and returns the sorted entries plus the
+// total sample count.
+func (a *valueAcc) finish() ([]ValueEntry, int) {
+	entries := make([]ValueEntry, 0, len(a.counts))
+	for k, c := range a.counts {
+		share := 100 * float64(c) / float64(a.total)
+		if share < a.opts.MinSharePercent {
 			continue
 		}
 		entries = append(entries, ValueEntry{Value: k.v, Jiffies: k.j, Count: c, Share: share})
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Value < entries[j].Value })
-	return entries, total
+	// A user-space bin and a jiffy bin can land on the same Value (e.g. a
+	// user 5 s next to kernel jiffies 1250 = 5 s); break the tie on Jiffies
+	// so the order never depends on map iteration.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Value != entries[j].Value {
+			return entries[i].Value < entries[j].Value
+		}
+		return entries[i].Jiffies < entries[j].Jiffies
+	})
+	return entries, a.total
+}
+
+// CommonValues computes the binned value histogram over all sets in the
+// lifecycles, applying the options' filters. It returns the entries at or
+// above the share threshold (sorted by value) and the total sample count.
+func CommonValues(ls []*TimerLife, opts ValueOptions) ([]ValueEntry, int) {
+	a := newValueAcc(opts)
+	for _, tl := range ls {
+		tl := tl
+		a.observe(tl, func() []Chain { return CountdownChains(tl) })
+	}
+	return a.finish()
 }
 
 // Chain is a run of uses forming a select-style countdown: each re-set's
@@ -175,10 +215,10 @@ func CountdownChains(tl *TimerLife) []Chain {
 	return chains
 }
 
-// chainMembership marks which uses belong to some countdown chain.
-func chainMembership(tl *TimerLife) []bool {
-	in := make([]bool, len(tl.Uses))
-	for _, c := range CountdownChains(tl) {
+// chainMembership marks which of n uses belong to some countdown chain.
+func chainMembership(n int, chains []Chain) []bool {
+	in := make([]bool, n)
+	for _, c := range chains {
 		for i := c.Start; i < c.End; i++ {
 			in[i] = true
 		}
@@ -192,19 +232,33 @@ type SeriesPoint struct {
 	V sim.Duration
 }
 
+// seriesAcc accumulates the Figure 4 dot plot for one process.
+type seriesAcc struct {
+	process string
+	pts     []SeriesPoint
+}
+
+func (a *seriesAcc) observe(tl *TimerLife) {
+	if processOf(tl.Origin) != a.process {
+		return
+	}
+	for _, u := range tl.Uses {
+		a.pts = append(a.pts, SeriesPoint{T: u.SetAt, V: u.Timeout})
+	}
+}
+
+func (a *seriesAcc) finish() []SeriesPoint {
+	sort.Slice(a.pts, func(i, j int) bool { return a.pts[i].T < a.pts[j].T })
+	return a.pts
+}
+
 // SetSeries extracts (time, value) points for timers whose origin has the
 // given process prefix — the Figure 4 dot plot of the X server's select
 // timer.
 func SetSeries(ls []*TimerLife, process string) []SeriesPoint {
-	var pts []SeriesPoint
+	a := seriesAcc{process: process}
 	for _, tl := range ls {
-		if processOf(tl.Origin) != process {
-			continue
-		}
-		for _, u := range tl.Uses {
-			pts = append(pts, SeriesPoint{T: u.SetAt, V: u.Timeout})
-		}
+		a.observe(tl)
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
-	return pts
+	return a.finish()
 }

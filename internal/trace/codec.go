@@ -13,16 +13,21 @@ import (
 //
 //	header:  magic "TSTR" | version u32 | record count u64 | origin count u32
 //	origins: per origin, length-prefixed (u32) UTF-8 bytes
-//	records: recordSize bytes each, little-endian, fields in struct order
+//	records: RecordSize bytes each, little-endian, fields in struct order
 //
 // The format is self-contained: a decoded Buffer resolves origins exactly as
 // the live one did.
 
 const (
-	magic      = "TSTR"
-	version    = 1
-	recordSize = 40
+	magic   = "TSTR"
+	version = 1
 )
+
+// RecordSize is the exact encoded size of one Record in bytes (fields in
+// struct order plus padding to an 8-byte multiple). DESIGN.md §"Trace
+// format" and DefaultCapacity both derive from this constant; a codec test
+// asserts the encoder really emits records of this size.
+const RecordSize = 40
 
 func putRecord(dst []byte, r Record) {
 	le := binary.LittleEndian
@@ -72,7 +77,7 @@ func (b *Buffer) Encode(w io.Writer) error {
 			return err
 		}
 	}
-	var rec [recordSize]byte
+	var rec [RecordSize]byte
 	for _, r := range b.records {
 		putRecord(rec[:], r)
 		if _, err := bw.Write(rec[:]); err != nil {
@@ -122,7 +127,7 @@ func Decode(r io.Reader) (*Buffer, error) {
 		}
 		b.Origin(string(name))
 	}
-	var rec [recordSize]byte
+	var rec [RecordSize]byte
 	for i := uint64(0); i < nrec; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)

@@ -22,6 +22,31 @@ func buildEncoded(t *testing.T, nrec int) []byte {
 	return buf.Bytes()
 }
 
+// TestRecordSizeGovernsEncoding pins the exported RecordSize constant to the
+// bytes the encoder actually emits: header (20) + length-prefixed origins +
+// RecordSize per record. DESIGN.md §"Trace format" quotes the same constant.
+func TestRecordSizeGovernsEncoding(t *testing.T) {
+	const nrec = 7
+	b := NewBuffer(nrec)
+	o := b.Origin("kernel/x")
+	for i := 0; i < nrec; i++ {
+		b.Log(Record{T: sim.Time(i), TimerID: 1, Op: OpSet, Origin: o})
+	}
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	originBytes := 0
+	for _, name := range []string{"?", "kernel/x"} {
+		originBytes += 4 + len(name)
+	}
+	want := 20 + originBytes + nrec*RecordSize
+	if buf.Len() != want {
+		t.Fatalf("encoded %d bytes, want %d (RecordSize=%d drifted from the encoder?)",
+			buf.Len(), want, RecordSize)
+	}
+}
+
 func TestDecodeTruncatedAtEveryBoundary(t *testing.T) {
 	full := buildEncoded(t, 5)
 	// Any strict prefix must fail cleanly, never panic or succeed.

@@ -72,8 +72,8 @@ const (
 	FlagSatisfied
 )
 
-// Record is one traced operation. The binary layout (Encode/Decode) is 40
-// bytes, little-endian.
+// Record is one traced operation. The binary layout (Encode/Decode) is
+// RecordSize (40) bytes, little-endian.
 type Record struct {
 	T       sim.Time // virtual timestamp
 	TimerID uint64   // timer structure identity ("address")
@@ -108,9 +108,9 @@ type Buffer struct {
 	counters Counters
 }
 
-// DefaultCapacity mirrors the paper's 512 MiB relayfs buffer at our 40-byte
-// record size.
-const DefaultCapacity = 512 << 20 / 40
+// DefaultCapacity mirrors the paper's 512 MiB relayfs buffer at our
+// RecordSize-byte record size.
+const DefaultCapacity = 512 << 20 / RecordSize
 
 // NewBuffer returns a buffer holding at most capRecords records.
 func NewBuffer(capRecords int) *Buffer {

@@ -140,7 +140,7 @@ func TestRecordCodecProperty(t *testing.T) {
 			T: sim.Time(tm), TimerID: id, Timeout: to, PID: pid,
 			Origin: origin, Op: Op(op), Flags: Flags(flags),
 		}
-		var buf [recordSize]byte
+		var buf [RecordSize]byte
 		putRecord(buf[:], r)
 		return getRecord(buf[:]) == r
 	}

@@ -131,3 +131,11 @@ const (
 	// httpdConnWatchdog: per-connection afd select guard, 15 s, matching the Linux experiment.
 	httpdConnWatchdog = 15 * sim.Second
 )
+
+// Trace-length constants (not armed timeouts, but kept here for the same
+// provenance discipline).
+const (
+	// DesktopTraceDuration: the Figure 1 busy-desktop trace runs 90 seconds
+	// in the paper, regardless of the 30-minute length of the other traces.
+	DesktopTraceDuration = 90 * sim.Second
+)

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the machine-readable experiments timing report.
+#
+#   scripts/bench.sh                          # writes BENCH_experiments.json (quick traces)
+#   scripts/bench.sh out.json                 # custom output path
+#   FULL=1 scripts/bench.sh                   # the paper's full 30-minute traces
+#
+# The report records wall-clock per evaluation trace (run + analyze),
+# records/sec of analysis throughput, per-table/figure render time, and the
+# fan-out speedup estimate for this host. See EXPERIMENTS.md for how to
+# read it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_experiments.json}"
+args=(-bench "$out")
+if [[ "${FULL:-0}" != "1" ]]; then
+	args+=(-quick)
+fi
+
+go run ./cmd/experiments "${args[@]}" > /dev/null
+echo "wrote $out"

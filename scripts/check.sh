@@ -13,6 +13,13 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== parallel determinism golden test =="
+go test -race -count=2 -run 'TestParallelMatchesSerial|TestRunAllDeterministicAcrossWorkers' \
+	./cmd/experiments ./internal/workloads
+
+echo "== benchmark smoke (1 iteration each) =="
+go test -run '^$' -bench . -benchtime=1x ./...
+
 echo "== timerlint =="
 go run ./cmd/timerlint ./...
 
