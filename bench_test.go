@@ -73,6 +73,8 @@ func BenchmarkTable2VistaSummary(b *testing.B) {
 func benchNineWorkloads(b *testing.B, workers int) {
 	specs := workloads.EvaluationSpecs(benchCfg())
 	accesses := make([]uint64, len(specs))
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		workloads.ForEach(specs, workers, func(j int, res *workloads.Result) {
 			accesses[j] = analysis.Summarize(res.Trace).Accesses
@@ -87,6 +89,32 @@ func benchNineWorkloads(b *testing.B, workers int) {
 
 func BenchmarkNineWorkloadsSerial(b *testing.B)   { benchNineWorkloads(b, 1) }
 func BenchmarkNineWorkloadsParallel(b *testing.B) { benchNineWorkloads(b, 0) }
+
+// --- Ablation: engine event-queue kind under the full evaluation set ---
+
+// benchEngineQueueKind reruns the nine evaluation workloads with the engine's
+// event queue switched between the binary heap and the hierarchical timing
+// wheel. The traces are byte-identical across kinds (see the workloads golden
+// test); this measures what the choice costs end to end, with allocations
+// reported so pooling regressions in either queue show up as allocs/op.
+func benchEngineQueueKind(b *testing.B, kind sim.QueueKind) {
+	cfg := benchCfg()
+	cfg.Queue = kind
+	specs := workloads.EvaluationSpecs(cfg)
+	var records uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		records = 0
+		workloads.ForEach(specs, 1, func(j int, res *workloads.Result) {
+			records += uint64(res.Trace.Len())
+		})
+	}
+	b.ReportMetric(float64(records), "records")
+}
+
+func BenchmarkEngineQueueHeap(b *testing.B)  { benchEngineQueueKind(b, sim.QueueHeap) }
+func BenchmarkEngineQueueWheel(b *testing.B) { benchEngineQueueKind(b, sim.QueueWheel) }
 
 // --- Single-pass pipeline vs the six independent walks it replaced ---
 
@@ -105,6 +133,7 @@ func benchAnalysisOptions() (vPlain, vFilt, vUser analysis.ValueOptions, sOpts a
 func BenchmarkAnalysisSinglePassPipeline(b *testing.B) {
 	res := workloads.RunLinux(workloads.Webserver, benchCfg())
 	vPlain, vFilt, vUser, sOpts := benchAnalysisOptions()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var rep *analysis.Report
 	for i := 0; i < b.N; i++ {
@@ -120,6 +149,7 @@ func BenchmarkAnalysisSinglePassPipeline(b *testing.B) {
 func BenchmarkAnalysisLegacySixPass(b *testing.B) {
 	res := workloads.RunLinux(workloads.Webserver, benchCfg())
 	vPlain, vFilt, vUser, sOpts := benchAnalysisOptions()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var rows []analysis.OriginRow
 	for i := 0; i < b.N; i++ {
@@ -270,6 +300,7 @@ func BenchmarkFigure11ScatterWebserver(b *testing.B) { benchScatter(b, "linux", 
 func BenchmarkSec32TraceOverhead(b *testing.B) {
 	buf := trace.NewBuffer(1 << 20)
 	rec := trace.Record{T: 1, TimerID: 42, Timeout: 1000, Op: trace.OpSet}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i&(1<<20-1) == 0 {

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -46,6 +47,9 @@ var (
 	quick     = flag.Bool("quick", false, "use 2-minute traces")
 	workersFl = flag.Int("j", 0, "workload worker pool size (0 = GOMAXPROCS)")
 	benchFl   = flag.String("bench", "", "write a machine-readable timing report (JSON) to this file")
+	queueFl   = flag.String("queue", "", "engine event queue: heap (default) or wheel")
+	cpuproFl  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memproFl  = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 )
 
 // artifacts is everything we keep from one workload run after its trace is
@@ -107,14 +111,14 @@ type experimentSet struct {
 
 // computeExperiments runs the ten evaluation traces on a pool of workers
 // and reduces each to its artifacts inside the worker goroutine.
-func computeExperiments(seed int64, dur sim.Duration, workers int, bench *benchReport) experimentSet {
-	cfg := workloads.Config{Seed: seed, Duration: dur}
+func computeExperiments(seed int64, dur sim.Duration, queue sim.QueueKind, workers int, bench *benchReport) experimentSet {
+	cfg := workloads.Config{Seed: seed, Duration: dur, Queue: queue}
 	specs := workloads.EvaluationSpecs(cfg)
 	desktopIdx := len(specs) - 1
 	relationsIdx := len(specs)
 	specs = append(specs, workloads.Spec{
 		OS: "linux", Name: workloads.Webserver,
-		Cfg: workloads.Config{Seed: seed, Duration: relationsTraceDuration},
+		Cfg: workloads.Config{Seed: seed, Duration: relationsTraceDuration, Queue: queue},
 	})
 
 	set := experimentSet{
@@ -128,6 +132,10 @@ func computeExperiments(seed int64, dur sim.Duration, workers int, bench *benchR
 	}
 	timings := make([]runTiming, len(specs))
 
+	var phase0 runtime.MemStats
+	if bench != nil {
+		runtime.ReadMemStats(&phase0)
+	}
 	start := time.Now()
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -136,6 +144,15 @@ func computeExperiments(seed int64, dur sim.Duration, workers int, bench *benchR
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				var m0, m1 runtime.MemStats
+				if bench != nil {
+					// Global counters: under a parallel pool each delta
+					// includes neighbouring workers' allocations, so
+					// per-run numbers are upper bounds there (workers=1
+					// is exact). Totals use the phase-wide delta, which
+					// is exact at any worker count.
+					runtime.ReadMemStats(&m0)
+				}
 				t0 := time.Now()
 				res := specs[i].Run()
 				t1 := time.Now()
@@ -154,6 +171,11 @@ func computeExperiments(seed int64, dur sim.Duration, workers int, bench *benchR
 					analyze: time.Since(t1),
 					records: res.Trace.Len(),
 				}
+				if bench != nil {
+					runtime.ReadMemStats(&m1)
+					timings[i].mallocs = m1.Mallocs - m0.Mallocs
+					timings[i].allocBytes = m1.TotalAlloc - m0.TotalAlloc
+				}
 			}
 		}()
 	}
@@ -162,7 +184,15 @@ func computeExperiments(seed int64, dur sim.Duration, workers int, bench *benchR
 	}
 	close(next)
 	wg.Wait()
-	bench.recordCompute(specs, timings, workers, time.Since(start))
+	wall := time.Since(start)
+	var phaseMallocs, phaseBytes uint64
+	if bench != nil {
+		var phase1 runtime.MemStats
+		runtime.ReadMemStats(&phase1)
+		phaseMallocs = phase1.Mallocs - phase0.Mallocs
+		phaseBytes = phase1.TotalAlloc - phase0.TotalAlloc
+	}
+	bench.recordCompute(specs, timings, workers, wall, phaseMallocs, phaseBytes)
 	return set
 }
 
@@ -238,13 +268,39 @@ func writeFigures(w io.Writer, s experimentSet, bench *benchReport) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main minus os.Exit, so the pprof writers below always flush.
+func run() int {
 	flag.Parse()
 	dur := sim.FromStd(*durFlag)
 	if *quick {
 		dur = 2 * sim.Minute
 	}
-	cfg := workloads.Config{Seed: *seedFlag, Duration: dur}
-	fmt.Printf("timerstudy experiments: %v virtual per trace, seed %d\n", dur, *seedFlag)
+	queue, err := sim.ParseQueueKind(*queueFl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	cfg := workloads.Config{Seed: *seedFlag, Duration: dur, Queue: queue}
+	fmt.Printf("timerstudy experiments: %v virtual per trace, seed %d, %s event queue\n", dur, *seedFlag, queue)
+
+	if *cpuproFl != "" {
+		f, err := os.Create(*cpuproFl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var bench *benchReport
 	if *benchFl != "" {
@@ -254,10 +310,11 @@ func main() {
 			Quick:           *quick,
 			Workers:         *workersFl,
 			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			Queue:           queue.String(),
 		}}
 	}
 
-	set := computeExperiments(*seedFlag, dur, *workersFl, bench)
+	set := computeExperiments(*seedFlag, dur, queue, *workersFl, bench)
 	writeFigures(os.Stdout, set, bench)
 
 	bench.section("section-3.2-overhead", func() {
@@ -292,18 +349,35 @@ func main() {
 	if bench != nil {
 		if err := bench.writeFile(*benchFl); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *benchFl, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+
+	if *memproFl != "" {
+		f, err := os.Create(*memproFl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // flush recent allocations into the profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 // ---------------------------------------------------------------------------
 // Bench report: machine-readable wall-clock timings (BENCH_experiments.json).
 
 type runTiming struct {
-	run     time.Duration
-	analyze time.Duration
-	records int
+	run        time.Duration
+	analyze    time.Duration
+	records    int
+	mallocs    uint64
+	allocBytes uint64
 }
 
 type benchConfig struct {
@@ -312,6 +386,11 @@ type benchConfig struct {
 	Quick           bool   `json:"quick"`
 	Workers         int    `json:"workers"` // 0 = GOMAXPROCS
 	GOMAXPROCS      int    `json:"gomaxprocs"`
+	Queue           string `json:"queue"` // engine event-queue kind
+	// AllocNote flags when per-run alloc columns are upper bounds: the
+	// runtime counters are process-global, so with workers > 1 each run's
+	// delta absorbs its neighbours'. Totals are exact either way.
+	AllocNote string `json:"alloc_note,omitempty"`
 }
 
 type benchRun struct {
@@ -322,6 +401,12 @@ type benchRun struct {
 	AnalyzeMS     float64 `json:"analyze_ms"`
 	Records       int     `json:"records"`
 	RecordsPerSec float64 `json:"records_per_sec"` // analysis throughput
+	// Allocs/AllocMB cover run+analyze together (one ReadMemStats delta);
+	// AllocsPerRecord = Allocs / Records, the figure the zero-allocation
+	// engine work drives toward zero.
+	Allocs          uint64  `json:"allocs"`
+	AllocMB         float64 `json:"alloc_mb"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
 }
 
 type benchSection struct {
@@ -341,6 +426,11 @@ type benchTotals struct {
 	SpeedupVsSerial float64 `json:"speedup_vs_serial_estimate,omitempty"`
 	RecordsAnalyzed int     `json:"records_analyzed"`
 	RecordsPerSec   float64 `json:"records_per_sec"`
+	// Whole-compute-phase allocation totals from one ReadMemStats delta
+	// around the pool: exact at any worker count.
+	Allocs          uint64  `json:"allocs"`
+	AllocMB         float64 `json:"alloc_mb"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
 }
 
 type benchReport struct {
@@ -365,11 +455,14 @@ func (b *benchReport) section(name string, fn func()) {
 
 // recordCompute folds the per-spec timings of one computeExperiments call
 // into the report. Nil-safe.
-func (b *benchReport) recordCompute(specs []workloads.Spec, timings []runTiming, workers int, wall time.Duration) {
+func (b *benchReport) recordCompute(specs []workloads.Spec, timings []runTiming, workers int, wall time.Duration, phaseMallocs, phaseBytes uint64) {
 	if b == nil {
 		return
 	}
 	b.Config.Workers = workers
+	if workers != 1 {
+		b.Config.AllocNote = "per-run allocs/alloc_mb are upper bounds (global counters, parallel workers); totals are exact"
+	}
 	var sum time.Duration
 	var records int
 	for i, s := range specs {
@@ -380,14 +473,21 @@ func (b *benchReport) recordCompute(specs []workloads.Spec, timings []runTiming,
 		if t.analyze > 0 {
 			perSec = float64(t.records) / t.analyze.Seconds()
 		}
+		perRecord := 0.0
+		if t.records > 0 {
+			perRecord = float64(t.mallocs) / float64(t.records)
+		}
 		b.Runs = append(b.Runs, benchRun{
-			OS:            s.OS,
-			Workload:      s.Name,
-			Virtual:       s.Cfg.Duration.String(),
-			RunMS:         ms(t.run),
-			AnalyzeMS:     ms(t.analyze),
-			Records:       t.records,
-			RecordsPerSec: perSec,
+			OS:              s.OS,
+			Workload:        s.Name,
+			Virtual:         s.Cfg.Duration.String(),
+			RunMS:           ms(t.run),
+			AnalyzeMS:       ms(t.analyze),
+			Records:         t.records,
+			RecordsPerSec:   perSec,
+			Allocs:          t.mallocs,
+			AllocMB:         float64(t.allocBytes) / (1 << 20),
+			AllocsPerRecord: perRecord,
 		})
 	}
 	b.Totals.ComputeWallMS = ms(wall)
@@ -398,6 +498,11 @@ func (b *benchReport) recordCompute(specs []workloads.Spec, timings []runTiming,
 	b.Totals.RecordsAnalyzed = records
 	if wall > 0 {
 		b.Totals.RecordsPerSec = float64(records) / wall.Seconds()
+	}
+	b.Totals.Allocs = phaseMallocs
+	b.Totals.AllocMB = float64(phaseBytes) / (1 << 20)
+	if records > 0 {
+		b.Totals.AllocsPerRecord = float64(phaseMallocs) / float64(records)
 	}
 }
 

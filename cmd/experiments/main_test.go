@@ -13,27 +13,39 @@ import (
 // duration-independent (every run owns its engine and seeded rand).
 const goldenDuration = 30 * sim.Second
 
-// TestParallelMatchesSerial is the tentpole's golden test: the rendered
-// tables and figures from a saturated worker pool must be byte-identical to
-// a serial run.
+// TestParallelMatchesSerial is the golden test for both execution axes: the
+// rendered tables and figures must be byte-identical whether the work runs
+// serially or on a saturated pool, and whether the engine's event queue is
+// the binary heap or the timing wheel.
 func TestParallelMatchesSerial(t *testing.T) {
-	render := func(workers int) []byte {
-		set := computeExperiments(1, goldenDuration, workers, nil)
+	render := func(workers int, queue sim.QueueKind) []byte {
+		set := computeExperiments(1, goldenDuration, queue, workers, nil)
 		var buf bytes.Buffer
 		writeFigures(&buf, set, nil)
 		fmt.Fprint(&buf, analysis.RenderRelations(set.relations))
 		return buf.Bytes()
 	}
-	serial := render(1)
-	parallel := render(8)
-	if !bytes.Equal(serial, parallel) {
-		sl, pl := bytes.Split(serial, []byte("\n")), bytes.Split(parallel, []byte("\n"))
-		for i := 0; i < len(sl) && i < len(pl); i++ {
-			if !bytes.Equal(sl[i], pl[i]) {
-				t.Fatalf("output diverges at line %d:\nserial:   %s\nparallel: %s", i+1, sl[i], pl[i])
+	serial := render(1, sim.QueueHeap)
+	for _, alt := range []struct {
+		name    string
+		workers int
+		queue   sim.QueueKind
+	}{
+		{"parallel", 8, sim.QueueHeap},
+		{"wheel-parallel", 8, sim.QueueWheel},
+	} {
+		got := render(alt.workers, alt.queue)
+		if !bytes.Equal(serial, got) {
+			sl, pl := bytes.Split(serial, []byte("\n")), bytes.Split(got, []byte("\n"))
+			for i := 0; i < len(sl) && i < len(pl); i++ {
+				if !bytes.Equal(sl[i], pl[i]) {
+					t.Fatalf("%s output diverges at line %d:\nserial: %s\n%s: %s",
+						alt.name, i+1, sl[i], alt.name, pl[i])
+				}
 			}
+			t.Fatalf("%s output lengths differ: serial %d lines, %s %d lines",
+				alt.name, len(sl), alt.name, len(pl))
 		}
-		t.Fatalf("output lengths differ: serial %d lines, parallel %d lines", len(sl), len(pl))
 	}
 }
 
@@ -41,7 +53,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 // evaluation trace plus per-section timings, with sane totals.
 func TestBenchReportShape(t *testing.T) {
 	bench := &benchReport{}
-	set := computeExperiments(1, goldenDuration, 2, bench)
+	set := computeExperiments(1, goldenDuration, sim.QueueHeap, 2, bench)
 	writeFigures(&bytes.Buffer{}, set, bench)
 
 	if len(bench.Runs) != 10 {
@@ -51,6 +63,15 @@ func TestBenchReportShape(t *testing.T) {
 		if r.Records <= 0 || r.RunMS < 0 || r.AnalyzeMS < 0 {
 			t.Fatalf("implausible run entry: %+v", r)
 		}
+		if r.Allocs == 0 || r.AllocMB <= 0 || r.AllocsPerRecord <= 0 {
+			t.Fatalf("alloc columns not filled: %+v", r)
+		}
+	}
+	if bench.Totals.Allocs == 0 || bench.Totals.AllocMB <= 0 || bench.Totals.AllocsPerRecord <= 0 {
+		t.Fatalf("alloc totals not filled: %+v", bench.Totals)
+	}
+	if bench.Config.AllocNote == "" {
+		t.Fatal("workers=2 must flag per-run alloc columns as upper bounds")
 	}
 	if len(bench.Sections) == 0 {
 		t.Fatalf("no sections recorded")

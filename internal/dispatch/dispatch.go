@@ -61,7 +61,8 @@ type Scheduler struct {
 
 	running  bool
 	busy     bool
-	idleEv   *sim.Event
+	idleEv   sim.Event
+	wakeFn   func() // bound once; arming the idle wake must not allocate
 	seq      uint64
 	taskSeq  int
 	nowEvSet bool
@@ -69,7 +70,12 @@ type Scheduler struct {
 
 // NewScheduler creates a dispatcher on the engine.
 func NewScheduler(eng *sim.Engine) *Scheduler {
-	return &Scheduler{eng: eng}
+	s := &Scheduler{eng: eng}
+	s.wakeFn = func() {
+		s.stats.Wakeups++
+		s.decide()
+	}
+	return s
 }
 
 // Stats returns a copy of the counters.
@@ -239,14 +245,11 @@ func (s *Scheduler) decide() {
 				wake = w
 			}
 		}
-		if wake >= 0 && (s.idleEv == nil || !s.idleEv.Pending() || s.idleEv.When() > wake) {
-			if s.idleEv != nil && s.idleEv.Pending() {
+		if wake >= 0 && (!s.idleEv.Pending() || s.idleEv.When() > wake) {
+			if s.idleEv.Pending() {
 				_ = s.eng.Cancel(s.idleEv)
 			}
-			s.idleEv = s.eng.At(wake, "dispatch:wake", func() {
-				s.stats.Wakeups++
-				s.decide()
-			})
+			s.idleEv = s.eng.At(wake, "dispatch:wake", s.wakeFn)
 		}
 		return
 	}

@@ -26,8 +26,10 @@ func NewHighRes(eng *sim.Engine, tr *trace.Buffer) *HighRes {
 // HRTimer is the analog of struct hrtimer.
 type HRTimer struct {
 	hr       *HighRes
-	ev       *sim.Event
+	ev       sim.Event
 	fn       func()
+	expireFn func() // bound once at Init so Start never allocates a closure
+	evName   string // "hrtimer:"+Origin, interned at Init off the hot path
 	id       uint64
 	originID uint32
 
@@ -49,6 +51,14 @@ func (h *HighRes) Init(t *HRTimer, origin string, pid int32, fn func()) {
 	t.Origin = origin
 	t.PID = pid
 	t.originID = h.tr.Origin(origin)
+	t.evName = "hrtimer:" + origin
+	t.expireFn = func() {
+		h.tr.Log(trace.Record{
+			T: h.eng.Now(), Op: trace.OpExpire, TimerID: t.id,
+			PID: t.PID, Origin: t.originID, Flags: t.flags(),
+		})
+		t.fn()
+	}
 	h.tr.Log(trace.Record{
 		T: h.eng.Now(), Op: trace.OpInit, TimerID: t.id,
 		PID: pid, Origin: t.originID, Flags: t.flags(),
@@ -63,7 +73,7 @@ func (t *HRTimer) flags() trace.Flags {
 }
 
 // Pending reports whether the hrtimer is armed.
-func (t *HRTimer) Pending() bool { return t.ev != nil && t.ev.Pending() }
+func (t *HRTimer) Pending() bool { return t.ev.Pending() }
 
 // Start arms the hrtimer for a relative duration (hrtimer_start).
 func (h *HighRes) Start(t *HRTimer, d sim.Duration) {
@@ -73,13 +83,7 @@ func (h *HighRes) Start(t *HRTimer, d sim.Duration) {
 	if t.Pending() {
 		_ = h.eng.Cancel(t.ev)
 	}
-	t.ev = h.eng.After(d, "hrtimer:"+t.Origin, func() {
-		h.tr.Log(trace.Record{
-			T: h.eng.Now(), Op: trace.OpExpire, TimerID: t.id,
-			PID: t.PID, Origin: t.originID, Flags: t.flags(),
-		})
-		t.fn()
-	})
+	t.ev = h.eng.After(d, t.evName, t.expireFn)
 	h.tr.Log(trace.Record{
 		T: h.eng.Now(), Op: trace.OpSet, TimerID: t.id, Timeout: int64(d),
 		PID: t.PID, Origin: t.originID, Flags: t.flags(),

@@ -103,7 +103,8 @@ type Base struct {
 	jiffy uint64 // jiffies counter: last processed tick
 	nohz  bool
 
-	tickEv *sim.Event
+	tickEv sim.Event
+	tickFn func() // b.tick bound once; a method value would allocate per arm
 	nextID uint64
 
 	// nextHeap tracks pending non-deferrable expiries for the dynticks
@@ -125,6 +126,7 @@ func NewBase(eng *sim.Engine, tr *trace.Buffer, opts ...Option) *Base {
 	for _, o := range opts {
 		o(b)
 	}
+	b.tickFn = b.tick
 	b.scheduleTick(b.eng.Now().Add(JiffyDuration))
 	return b
 }
@@ -307,7 +309,7 @@ func (b *Base) tick() {
 }
 
 func (b *Base) scheduleTick(at sim.Time) {
-	b.tickEv = b.eng.At(at, "jiffies:tick", b.tick)
+	b.tickEv = b.eng.At(at, "jiffies:tick", b.tickFn)
 }
 
 // scheduleNextTick implements the dynticks decision: with NO_HZ off the tick
@@ -334,7 +336,7 @@ func (b *Base) scheduleNextTick() {
 // retick re-evaluates the pending tick after a Mod, so that under dynticks a
 // newly armed near timer is not missed while the CPU sleeps.
 func (b *Base) retick() {
-	if !b.nohz || b.tickEv == nil || !b.tickEv.Pending() {
+	if !b.nohz || !b.tickEv.Pending() {
 		return
 	}
 	if nj, ok := b.nextExpiryJiffy(); ok {

@@ -84,7 +84,8 @@ type Kernel struct {
 	// according to observed CPU load."
 	dynamicTick bool
 	nextDue     dueHeap
-	interruptEv *sim.Event
+	interruptEv sim.Event
+	interruptFn func() // k.clockInterrupt bound once; arming must not allocate
 
 	// ClockInterrupts counts ISR invocations; ExpiredCount counts fired
 	// timers.
@@ -107,6 +108,7 @@ func NewKernel(eng *sim.Engine, tr *trace.Buffer, opts ...KernelOption) *Kernel 
 	for _, o := range opts {
 		o(k)
 	}
+	k.interruptFn = k.clockInterrupt
 	k.scheduleInterrupt()
 	return k
 }
@@ -254,12 +256,12 @@ func (k *Kernel) scheduleInterrupt() {
 		}
 		if len(k.nextDue) == 0 {
 			// Nothing pending: no interrupt at all until the next set.
-			k.interruptEv = nil
+			k.interruptEv = sim.Event{}
 			return
 		}
 		nextTick = k.nextDue[0]
 	}
-	k.interruptEv = k.eng.At(tickToTime(nextTick), "ktimer:clock-interrupt", k.clockInterrupt)
+	k.interruptEv = k.eng.At(tickToTime(nextTick), "ktimer:clock-interrupt", k.interruptFn)
 }
 
 // retick pulls the scheduled interrupt forward when a newly set timer is
@@ -276,8 +278,8 @@ func (k *Kernel) retick() {
 		return
 	}
 	due := tickToTime(k.nextDue[0])
-	if k.interruptEv == nil || !k.interruptEv.Pending() {
-		k.interruptEv = k.eng.At(due, "ktimer:clock-interrupt", k.clockInterrupt)
+	if !k.interruptEv.Pending() {
+		k.interruptEv = k.eng.At(due, "ktimer:clock-interrupt", k.interruptFn)
 		return
 	}
 	if k.interruptEv.When() > due {

@@ -13,6 +13,7 @@ type MessageQueue struct {
 	k      *Kernel
 	pid    int32
 	name   string
+	evName string // name+":wm_timer", interned once: post runs per expiry
 	timers map[int]*gui
 	// DispatchLatency bounds the simulated delay between posting a message
 	// and the loop dispatching it; actual delays are uniform in
@@ -25,20 +26,22 @@ type MessageQueue struct {
 }
 
 type gui struct {
-	id      int
-	kt      *KTimer
-	elapse  sim.Duration
-	proc    func()
-	posted  bool
-	dead    bool
-	queue   *MessageQueue
-	originS string
+	id         int
+	kt         *KTimer
+	elapse     sim.Duration
+	proc       func()
+	dispatchFn func() // bound at SetTimer; post must not allocate per expiry
+	posted     bool
+	dead       bool
+	queue      *MessageQueue
+	originS    string
 }
 
 // NewMessageQueue creates the GUI timer machinery for a process's UI thread.
 func (k *Kernel) NewMessageQueue(pid int32, processName string) *MessageQueue {
 	return &MessageQueue{
 		k: k, pid: pid, name: processName,
+		evName:          processName + ":wm_timer",
 		timers:          make(map[int]*gui),
 		DispatchLatency: 2 * sim.Millisecond,
 	}
@@ -59,6 +62,14 @@ func (q *MessageQueue) SetTimer(id int, elapse sim.Duration, proc func()) {
 	}
 	g := &gui{id: id, elapse: elapse, proc: proc, queue: q,
 		originS: q.name + "/wm_timer"}
+	g.dispatchFn = func() {
+		g.posted = false
+		if g.dead {
+			return
+		}
+		q.Dispatched++
+		g.proc()
+	}
 	g.kt = q.k.NewTimer(g.originS, q.pid, true, nil)
 	g.kt.dpc = func() { q.post(g) }
 	q.k.SetTimerIn(g.kt, elapse, elapse)
@@ -89,14 +100,7 @@ func (q *MessageQueue) post(g *gui) {
 	}
 	g.posted = true
 	delay := sim.Duration(q.k.eng.Rand().Int63n(int64(q.DispatchLatency))) + 1
-	q.k.eng.After(delay, q.name+":wm_timer", func() {
-		g.posted = false
-		if g.dead {
-			return
-		}
-		q.Dispatched++
-		g.proc()
-	})
+	q.k.eng.After(delay, q.evName, g.dispatchFn)
 }
 
 // AfdSelect is the Winsock2 select path (Section 2.2): "implemented as a

@@ -56,7 +56,7 @@ type nullFacility struct {
 type nullHandle struct {
 	eng *sim.Engine
 	fn  func()
-	ev  *sim.Event
+	ev  sim.Event
 }
 
 // NewTimer implements netsim.Facility.
@@ -68,19 +68,16 @@ func (f *nullFacility) NewTimer(origin string, fn func()) netsim.Handle {
 func (f *nullFacility) Now() sim.Time { return f.eng.Now() }
 
 func (h *nullHandle) Arm(d sim.Duration) {
-	if h.ev != nil && h.ev.Pending() {
+	if h.ev.Pending() {
 		_ = h.eng.Cancel(h.ev)
 	}
 	h.ev = h.eng.After(d, "null-timer", h.fn)
 }
 
 func (h *nullHandle) Stop() bool {
-	if h.ev == nil {
-		return false
-	}
 	return h.eng.Cancel(h.ev)
 }
 
-func (h *nullHandle) Pending() bool { return h.ev != nil && h.ev.Pending() }
+func (h *nullHandle) Pending() bool { return h.ev.Pending() }
 
 func (h *nullHandle) Release() { _ = h.Stop() }

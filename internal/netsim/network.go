@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
 
@@ -45,6 +44,10 @@ type Network struct {
 	def   PathConfig
 	paths map[pathKey]PathConfig
 	hosts map[string]func(Packet)
+	// links interns the per-direction event labels ("net:a->b") so Send
+	// does not build a string per packet. Keys are directional, so pathKey
+	// is used here without mkPath canonicalization.
+	links map[pathKey]string
 	// Bandwidth is the serialization rate in bytes per virtual second
 	// (default 125 MB/s ≈ gigabit).
 	Bandwidth int64
@@ -62,6 +65,7 @@ func NewNetwork(eng *sim.Engine) *Network {
 		def:       PathConfig{Latency: 65 * sim.Microsecond, Jitter: 20 * sim.Microsecond},
 		paths:     map[pathKey]PathConfig{},
 		hosts:     map[string]func(Packet){},
+		links:     map[pathKey]string{},
 		Bandwidth: 125 << 20,
 	}
 }
@@ -75,6 +79,17 @@ func (n *Network) SetPath(a, b string, cfg PathConfig) { n.paths[mkPath(a, b)] =
 // Attach registers a host's receive function. Reattaching replaces it.
 func (n *Network) Attach(host string, recv func(Packet)) {
 	n.hosts[host] = recv
+}
+
+// linkLabel returns the interned event label for one direction of a link.
+func (n *Network) linkLabel(from, to string) string {
+	k := pathKey{from, to}
+	if s, ok := n.links[k]; ok {
+		return s
+	}
+	s := "net:" + from + "->" + to
+	n.links[k] = s
+	return s
 }
 
 // pathFor returns the config governing a packet between two hosts.
@@ -106,7 +121,7 @@ func (n *Network) Send(p Packet) {
 	if n.Bandwidth > 0 && p.Size > 0 {
 		delay += sim.Duration(int64(p.Size) * int64(sim.Second) / n.Bandwidth)
 	}
-	n.eng.After(delay, fmt.Sprintf("net:%s->%s", p.From, p.To), func() {
+	n.eng.After(delay, n.linkLabel(p.From, p.To), func() {
 		n.Delivered++
 		recv(p)
 	})

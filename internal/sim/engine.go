@@ -1,57 +1,142 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// Event is a scheduled callback. Events are created by Engine.At/After and
-// may be canceled before they run. The zero Event is not valid.
+// event is the engine's internal timer node. Nodes are owned by the engine
+// and recycled through a freelist once they fire or are canceled; user code
+// only ever holds generation-validated Event handles, so a recycled node can
+// never be confused with the event a stale handle referred to.
+type event struct {
+	when Time
+	seq  uint64 // tie-break: FIFO among events at the same instant
+	gen  uint64 // bumped on release; validates handles
+	name string
+	fn   func()
+
+	pending bool
+
+	// index is the node's position in the heap queue.
+	index int
+	// next/prev link the node into a wheel bucket while queued there, and
+	// next alone threads the freelist.
+	next, prev *event
+	// bucket is the wheel bucket currently holding the node.
+	bucket *wheelBucket
+}
+
+// Event is a handle to a scheduled callback, returned by At/After. It is a
+// small value (copy freely). A handle is live while its event is pending;
+// once the event fires or is canceled the handle goes stale and Pending
+// reports false forever, even after the engine recycles the underlying
+// storage for a new event. The zero Event is a (stale) handle to nothing.
 type Event struct {
-	when  Time
-	seq   uint64 // tie-break: FIFO among events at the same instant
-	index int    // heap index, -1 once removed
-	name  string
-	fn    func()
+	n   *event
+	gen uint64
 }
 
-// When returns the instant the event is scheduled for.
-func (e *Event) When() Time { return e.when }
+// Pending reports whether the event is still queued. It is stale-safe: a
+// handle to a fired or canceled event reports false even if the engine has
+// since reused the event's storage.
+func (e Event) Pending() bool { return e.n != nil && e.n.gen == e.gen && e.n.pending }
 
-// Name returns the diagnostic label given at scheduling time.
-func (e *Event) Name() string { return e.name }
-
-// Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e.index >= 0 }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// When returns the instant the event is scheduled for. It is meaningful only
+// while the event is pending; stale handles return 0.
+func (e Event) When() Time {
+	if e.Pending() {
+		return e.n.when
 	}
-	return h[i].seq < h[j].seq
+	return 0
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Name returns the diagnostic label given at scheduling time, or "" for a
+// stale handle.
+func (e Event) Name() string {
+	if e.Pending() {
+		return e.n.name
+	}
+	return ""
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+// eventQueue is the priority queue behind the engine: a total order over
+// pending events by (when, seq). Both implementations — the index-based
+// binary heap and the hierarchical timer wheel — dequeue in exactly this
+// order, which is what keeps traces byte-identical across queue choices.
+type eventQueue interface {
+	// push inserts a node (not currently queued).
+	push(n *event)
+	// peek returns the minimum (when, seq) node without removing it, or nil.
+	peek() *event
+	// pop removes and returns the minimum node.
+	pop() *event
+	// remove unlinks an arbitrary queued node.
+	remove(n *event)
+	// update re-positions a queued node after its when/seq changed.
+	update(n *event)
+	// len returns the number of queued nodes.
+	len() int
+	// name identifies the implementation for benchmarks.
+	name() string
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// eventLess is the queue order: earliest instant first, FIFO by seq within
+// one instant.
+func eventLess(a, b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// QueueKind selects the engine's event-queue implementation.
+type QueueKind uint8
+
+const (
+	// QueueHeap is the default: an index-based binary min-heap specialized
+	// to event nodes (no interface boxing, O(log n) operations).
+	QueueHeap QueueKind = iota
+	// QueueWheel is a hierarchical timing wheel over ~1 ms ticks (the
+	// cascading tv1..tv5 layout of internal/timerwheel, adapted to
+	// nanosecond instants): O(1) amortized scheduling, the structure the
+	// paper's Section 2.1 kernels use for exactly this workload.
+	QueueWheel
+)
+
+// String returns the queue kind's short name.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueHeap:
+		return "heap"
+	case QueueWheel:
+		return "wheel"
+	default:
+		return fmt.Sprintf("queue(%d)", uint8(k))
+	}
+}
+
+// ParseQueueKind resolves a queue name ("heap", "wheel"; "" means the
+// default heap).
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "", "heap":
+		return QueueHeap, nil
+	case "wheel":
+		return QueueWheel, nil
+	default:
+		return QueueHeap, fmt.Errorf("sim: unknown event queue %q", s)
+	}
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithEventQueue selects the event-queue implementation. The choice changes
+// constant factors only: dequeue order, and therefore every trace, is
+// identical across kinds.
+func WithEventQueue(k QueueKind) Option {
+	return func(e *Engine) { e.queueKind = k }
 }
 
 // Stats accumulates engine-level accounting used by the power/overhead
@@ -68,28 +153,47 @@ type Stats struct {
 	// IdleTime is the total virtual time during which no event was running,
 	// i.e. the sum of gaps between distinct event instants.
 	IdleTime Duration
+	// EventAllocs counts event nodes allocated from the Go heap. In steady
+	// state the freelist satisfies every At/After, so this plateaus at the
+	// peak number of simultaneously pending events.
+	EventAllocs uint64
 }
 
 // Engine is a deterministic discrete-event simulator. It is not safe for
 // concurrent use: simulations are single-threaded by design so that a seed
 // fully determines the trace.
 type Engine struct {
-	now      Time
-	events   eventHeap
-	seq      uint64
-	rng      *rand.Rand
-	stats    Stats
-	lastWake Time
-	hasWoken bool
-	running  bool
-	stopped  bool
+	now       Time
+	queue     eventQueue
+	queueKind QueueKind
+	free      *event // freelist of released nodes, threaded via next
+	seq       uint64
+	rng       *rand.Rand
+	stats     Stats
+	lastWake  Time
+	hasWoken  bool
+	running   bool
+	stopped   bool
 }
 
 // NewEngine returns an engine at time zero whose randomness derives entirely
 // from seed.
-func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+func NewEngine(seed int64, opts ...Option) *Engine {
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	for _, o := range opts {
+		o(e)
+	}
+	switch e.queueKind {
+	case QueueWheel:
+		e.queue = newWheelQueue()
+	default:
+		e.queue = &heapQueue{}
+	}
+	return e
 }
+
+// QueueName identifies the event-queue implementation in use.
+func (e *Engine) QueueName() string { return e.queue.name() }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -101,25 +205,53 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Stats() Stats { return e.stats }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.queue.len() }
+
+// acquire takes a node from the freelist, falling back to the heap when the
+// list is empty (cold start or a new high-water mark of pending events).
+func (e *Engine) acquire() *event {
+	if n := e.free; n != nil {
+		e.free = n.next
+		n.next = nil
+		return n
+	}
+	e.stats.EventAllocs++
+	return &event{}
+}
+
+// release invalidates every outstanding handle to the node (generation bump)
+// and returns it to the freelist.
+func (e *Engine) release(n *event) {
+	n.gen++
+	n.fn = nil
+	n.name = ""
+	n.pending = false
+	n.prev = nil
+	n.bucket = nil
+	n.next = e.free
+	e.free = n
+}
 
 // At schedules fn to run at instant t. Scheduling in the past (t < Now) is a
 // programming error and panics: the simulated kernels are responsible for
 // clamping, just as real kernels must decide what an already-expired timer
-// means.
-func (e *Engine) At(t Time, name string, fn func()) *Event {
+// means. Steady-state calls are allocation-free: the returned handle is a
+// value and the event node comes from the engine's freelist.
+func (e *Engine) At(t Time, name string, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, e.now))
 	}
 	e.seq++
-	ev := &Event{when: t, seq: e.seq, name: name, fn: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	n := e.acquire()
+	n.when, n.seq, n.name, n.fn = t, e.seq, name, fn
+	n.pending = true
+	e.queue.push(n)
+	return Event{n: n, gen: n.gen}
 }
 
 // After schedules fn to run d from now. Negative d is clamped to zero,
 // matching the behaviour of timer syscalls given zero/negative timeouts.
-func (e *Engine) After(d Duration, name string, fn func()) *Event {
+func (e *Engine) After(d Duration, name string, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -127,43 +259,52 @@ func (e *Engine) After(d Duration, name string, fn func()) *Event {
 }
 
 // Cancel removes a pending event. It returns false if the event has already
-// run or been canceled.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+// run or been canceled (stale handles are safe and report false).
+func (e *Engine) Cancel(ev Event) bool {
+	if !ev.Pending() {
 		return false
 	}
-	heap.Remove(&e.events, ev.index)
+	e.queue.remove(ev.n)
 	e.stats.Canceled++
+	e.release(ev.n)
 	return true
 }
 
-// Reschedule moves a pending event to a new instant, preserving its callback.
-// If the event already fired it is re-queued. The returned event is ev.
-func (e *Engine) Reschedule(ev *Event, t Time) *Event {
-	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
+// Reschedule moves a pending event to a new instant, reusing the event
+// in place: no allocation, and the handle stays live. The event's FIFO
+// tie-break restarts — it receives a fresh sequence number, so it runs after
+// every event already scheduled at the new instant, exactly as if it had
+// been canceled and re-added (the pre-freelist semantics, now without the
+// churn). Instants in the past clamp to now. Rescheduling a fired or
+// canceled event is a programming error and panics; callers that may hold a
+// stale handle must check Pending first and schedule anew.
+func (e *Engine) Reschedule(ev Event, t Time) Event {
+	if !ev.Pending() {
+		panic("sim: Reschedule of a fired or canceled event (check Pending, then At)")
 	}
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev.when = t
-	ev.seq = e.seq
-	heap.Push(&e.events, ev)
+	n := ev.n
+	n.when = t
+	n.seq = e.seq
+	e.queue.update(n)
 	return ev
 }
 
 // Step runs the earliest pending event. It returns false if the queue is
-// empty or the engine was stopped.
+// empty or the engine was stopped. The event node is recycled before the
+// callback runs, so a rearm inside the callback reuses it immediately.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.events) == 0 {
+	if e.stopped || e.queue.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
-	if ev.when > e.now {
+	n := e.queue.pop()
+	if n.when > e.now {
 		// The CPU was idle between the previous batch and this instant.
-		e.stats.IdleTime += ev.when.Sub(e.now)
-		e.now = ev.when
+		e.stats.IdleTime += n.when.Sub(e.now)
+		e.now = n.when
 	}
 	if !e.hasWoken || e.lastWake != e.now {
 		e.stats.Wakeups++
@@ -171,7 +312,9 @@ func (e *Engine) Step() bool {
 		e.hasWoken = true
 	}
 	e.stats.Events++
-	ev.fn()
+	fn := n.fn
+	e.release(n)
+	fn()
 	return true
 }
 
@@ -186,10 +329,8 @@ func (e *Engine) Run(until Time) {
 	e.running = true
 	defer func() { e.running = false }()
 	for !e.stopped {
-		if len(e.events) == 0 {
-			break
-		}
-		if e.events[0].when > until {
+		head := e.queue.peek()
+		if head == nil || head.when > until {
 			break
 		}
 		e.Step()

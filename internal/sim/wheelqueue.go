@@ -1,0 +1,252 @@
+package sim
+
+import "math/bits"
+
+// wheelQueue is a hierarchical timing wheel over the engine's pending
+// events — the Linux tv1..tv5 cascade layout (see internal/timerwheel,
+// which transliterates kernel/timer.c) adapted to serve as a total-order
+// priority queue over nanosecond instants:
+//
+//   - Instants are bucketed by tick, where one tick is 2^20 ns ≈ 1.05 ms —
+//     the same order of magnitude as the jiffy the paper's kernels bucket
+//     by. An innermost wheel of 256 ticks plus four outer wheels of 64
+//     slots each cover 2^32 ticks ≈ 52 days of horizon; the rare event
+//     beyond that is clamped into the outermost wheel and re-filed at each
+//     cascade until it fits (late filing is harmless, early would not be).
+//   - Within a bucket, events are kept in an intrusive doubly-linked list
+//     sorted by (when, seq). This is where the wheel differs from the
+//     kernel's (which keeps ticks unordered and fires a whole jiffy as a
+//     batch): the simulator must dequeue in exactly the same (when, seq)
+//     order as the binary heap, or traces would diverge between queue
+//     implementations. Sorting costs O(bucket length) per insert, but a
+//     bucket spans ~1 ms of virtual time, so it holds only events that are
+//     both near-simultaneous and still pending — short in every workload,
+//     and appends (the common case, since seq is monotonic) probe from the
+//     tail and hit immediately.
+//   - peek advances a cursor over the innermost wheel, cascading one outer
+//     bucket down per 256-tick block boundary (once per boundary, tracked
+//     by lastCascade — the pull-based equivalent of the kernel doing it in
+//     the timer softirq as jiffies wrap each index).
+//
+// Scheduling and canceling are O(1) plus the bucket sort; the cursor scan
+// is amortized O(total virtual ticks elapsed), independent of event count.
+type wheelQueue struct {
+	tv1 [tvrSize]wheelBucket    // innermost: one bucket per tick, 256 ticks
+	tvn [4][tvnSize]wheelBucket // outer wheels: 64 slots, each 64× coarser
+
+	// occ is an occupancy bitmap over tv1, one bit per slot. Bits are set
+	// on insert and cleared lazily when the cursor finds the slot empty, so
+	// a stale set bit costs one wasted probe, never a missed event. It lets
+	// the cursor cross an idle gap in O(1) per 64 ticks instead of stepping
+	// every ~1 ms slot of a multi-second sleep individually.
+	occ [tvrSize / 64]uint64
+
+	// cur is the next tick the cursor will examine; buckets strictly below
+	// it are empty. It only moves forward.
+	cur uint64
+	// lastCascade records the block boundary most recently cascaded so that
+	// re-peeking at a boundary tick does not re-run the cascade (which
+	// could otherwise re-file an aliased far-future event into the bucket
+	// being drained, looping forever).
+	lastCascade uint64
+
+	size      int
+	cachedMin *event // memoized peek result; nil = recompute
+}
+
+const (
+	// wheelShift sets the tick granularity: tick = when >> wheelShift.
+	wheelShift = 20
+	tvrBits    = 8
+	tvnBits    = 6
+	tvrSize    = 1 << tvrBits
+	tvnSize    = 1 << tvnBits
+	// wheelHorizon is the farthest tick distance the wheels can file
+	// directly: 2^(8+4·6) - 1 ticks ≈ 52 days.
+	wheelHorizon = 1<<(tvrBits+4*tvnBits) - 1
+)
+
+// wheelBucket is a (when, seq)-sorted intrusive doubly-linked list of
+// events, nil-terminated at both ends.
+type wheelBucket struct {
+	head, tail *event
+}
+
+func newWheelQueue() *wheelQueue {
+	// lastCascade starts off every valid boundary so the first peek at
+	// cur=0 runs its (vacuous) cascade and establishes the invariant.
+	return &wheelQueue{lastCascade: ^uint64(0)}
+}
+
+func (w *wheelQueue) name() string { return "wheel" }
+
+func (w *wheelQueue) len() int { return w.size }
+
+func (w *wheelQueue) push(n *event) {
+	w.size++
+	w.insert(n)
+	if w.cachedMin != nil && eventLess(n, w.cachedMin) {
+		w.cachedMin = n
+	}
+}
+
+func (w *wheelQueue) remove(n *event) {
+	b := n.bucket
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.next, n.prev, n.bucket = nil, nil, nil
+	w.size--
+	if w.cachedMin == n {
+		w.cachedMin = nil
+	}
+}
+
+func (w *wheelQueue) update(n *event) {
+	w.remove(n)
+	w.push(n)
+}
+
+func (w *wheelQueue) peek() *event {
+	if w.cachedMin != nil {
+		return w.cachedMin
+	}
+	if w.size == 0 {
+		return nil
+	}
+	for {
+		slot := w.cur & (tvrSize - 1)
+		if slot == 0 && w.lastCascade != w.cur {
+			w.lastCascade = w.cur
+			w.cascade()
+		}
+		if h := w.tv1[slot].head; h != nil {
+			w.cachedMin = h
+			return h
+		}
+		w.occ[slot>>6] &^= 1 << (slot & 63)
+		// Jump to the next occupied slot in this 256-tick block, or to the
+		// block boundary (where the next cascade is due) if there is none.
+		w.cur += uint64(w.nextOccupied(int(slot)+1) - int(slot))
+	}
+}
+
+// nextOccupied returns the index of the first tv1 slot >= from whose
+// occupancy bit is set, or tvrSize if the rest of the block is empty.
+func (w *wheelQueue) nextOccupied(from int) int {
+	if from >= tvrSize {
+		return tvrSize
+	}
+	i := from >> 6
+	word := w.occ[i] &^ (1<<(from&63) - 1)
+	for {
+		if word != 0 {
+			return i<<6 + bits.TrailingZeros64(word)
+		}
+		i++
+		if i == len(w.occ) {
+			return tvrSize
+		}
+		word = w.occ[i]
+	}
+}
+
+func (w *wheelQueue) pop() *event {
+	n := w.peek()
+	w.remove(n)
+	return n
+}
+
+// insert files n into the bucket covering its tick at the current cursor
+// position. Ticks already behind the cursor (an event scheduled within the
+// tick currently being drained) file at the cursor's own bucket; the sorted
+// list keeps them ordered correctly among its neighbours.
+func (w *wheelQueue) insert(n *event) {
+	tk := uint64(n.when) >> wheelShift
+	if tk < w.cur {
+		tk = w.cur
+	}
+	var b *wheelBucket
+	switch idx := tk - w.cur; {
+	case idx < tvrSize:
+		slot := tk & (tvrSize - 1)
+		w.occ[slot>>6] |= 1 << (slot & 63)
+		b = &w.tv1[slot]
+	case idx < 1<<(tvrBits+tvnBits):
+		b = &w.tvn[0][(tk>>tvrBits)&(tvnSize-1)]
+	case idx < 1<<(tvrBits+2*tvnBits):
+		b = &w.tvn[1][(tk>>(tvrBits+tvnBits))&(tvnSize-1)]
+	case idx < 1<<(tvrBits+3*tvnBits):
+		b = &w.tvn[2][(tk>>(tvrBits+2*tvnBits))&(tvnSize-1)]
+	default:
+		if idx > wheelHorizon {
+			tk = w.cur + wheelHorizon
+		}
+		b = &w.tvn[3][(tk>>(tvrBits+3*tvnBits))&(tvnSize-1)]
+	}
+	b.insert(n)
+}
+
+// cascade pulls the outer-wheel buckets that cover the 256-tick block the
+// cursor just entered down into finer wheels, chaining outward exactly when
+// an outer index wraps to zero — the kernel's cascade chain in run_timers.
+func (w *wheelQueue) cascade() {
+	for level := 0; level < 4; level++ {
+		idx := (w.cur >> (tvrBits + uint(level)*tvnBits)) & (tvnSize - 1)
+		w.drain(&w.tvn[level][idx])
+		if idx != 0 {
+			break
+		}
+	}
+}
+
+// drain unlinks every event in b and re-files it relative to the advanced
+// cursor. Re-filing never targets b itself: by the time a bucket is
+// cascaded, every event it holds maps strictly finer (or, for clamped
+// events, to an earlier outer slot), so the loop terminates.
+func (w *wheelQueue) drain(b *wheelBucket) {
+	n := b.head
+	b.head, b.tail = nil, nil
+	for n != nil {
+		next := n.next
+		n.next, n.prev, n.bucket = nil, nil, nil
+		w.insert(n)
+		n = next
+	}
+}
+
+// insert places n into the sorted list. Probing starts at the tail: seq is
+// monotonic, so the overwhelmingly common insert is an append.
+func (b *wheelBucket) insert(n *event) {
+	p := b.tail
+	for p != nil && eventLess(n, p) {
+		p = p.prev
+	}
+	if p == nil {
+		n.prev = nil
+		n.next = b.head
+		if b.head != nil {
+			b.head.prev = n
+		} else {
+			b.tail = n
+		}
+		b.head = n
+	} else {
+		n.prev = p
+		n.next = p.next
+		if p.next != nil {
+			p.next.prev = n
+		} else {
+			b.tail = n
+		}
+		p.next = n
+	}
+	n.bucket = b
+}

@@ -13,24 +13,40 @@
 package softtimer
 
 import (
-	"container/heap"
-
 	"timerstudy/internal/sim"
 )
 
-// Timer is one scheduled soft timeout.
-type Timer struct {
+// timer is the facility-owned node for one scheduled soft timeout. Nodes
+// recycle through a freelist once fired or canceled, mirroring the engine's
+// event pool; user code holds generation-validated Timer handles.
+type timer struct {
 	deadline sim.Time
 	fn       func()
 	index    int
 	seq      uint64
+	gen      uint64
+	pending  bool
+	next     *timer // freelist link
 }
 
-// Deadline returns the scheduled expiry instant.
-func (t *Timer) Deadline() sim.Time { return t.deadline }
+// Timer is a handle to one scheduled soft timeout, valid while it pends. A
+// handle to a fired or canceled timer reports Pending false forever, even
+// after its storage is recycled; the zero Timer is a handle to nothing.
+type Timer struct {
+	n   *timer
+	gen uint64
+}
 
 // Pending reports whether the timer is still queued.
-func (t *Timer) Pending() bool { return t.index >= 0 }
+func (t Timer) Pending() bool { return t.n != nil && t.n.gen == t.gen && t.n.pending }
+
+// Deadline returns the scheduled expiry instant, or 0 for a stale handle.
+func (t Timer) Deadline() sim.Time {
+	if t.Pending() {
+		return t.n.deadline
+	}
+	return 0
+}
 
 // Stats tallies delivery behaviour; the soft/hard split and the latency
 // moments are the facility's evaluation metrics.
@@ -60,12 +76,14 @@ func (s Stats) MeanLatency() sim.Duration {
 
 // Facility is a soft-timer subsystem bound to a simulation engine.
 type Facility struct {
-	eng      *sim.Engine
-	q        timerHeap
-	seq      uint64
-	overflow sim.Duration
-	overEv   *sim.Event
-	stats    Stats
+	eng        *sim.Engine
+	q          timerHeap
+	free       *timer
+	seq        uint64
+	overflow   sim.Duration
+	overEv     sim.Event
+	overflowFn func() // bound once; re-arming the backstop must not allocate
+	stats      Stats
 }
 
 // New creates a facility whose hardware overflow interrupt runs every
@@ -75,39 +93,66 @@ func New(eng *sim.Engine, overflowPeriod sim.Duration) *Facility {
 	if overflowPeriod <= 0 {
 		overflowPeriod = sim.Millisecond
 	}
-	return &Facility{eng: eng, overflow: overflowPeriod}
+	f := &Facility{eng: eng, overflow: overflowPeriod}
+	f.overflowFn = func() {
+		f.stats.OverflowInterrupts++
+		f.fire(true)
+		f.ensureOverflow()
+	}
+	return f
 }
 
 // Stats returns a copy of the counters.
 func (f *Facility) Stats() Stats { return f.stats }
 
 // Pending returns the number of queued timers.
-func (f *Facility) Pending() int { return len(f.q) }
+func (f *Facility) Pending() int { return f.q.len() }
+
+func (f *Facility) acquire() *timer {
+	if n := f.free; n != nil {
+		f.free = n.next
+		n.next = nil
+		return n
+	}
+	return &timer{}
+}
+
+func (f *Facility) release(n *timer) {
+	n.gen++
+	n.fn = nil
+	n.pending = false
+	n.next = f.free
+	f.free = n
+}
 
 // Schedule queues fn to run no earlier than d from now. Delivery happens at
-// the next trigger state or overflow interrupt after the deadline.
-func (f *Facility) Schedule(d sim.Duration, fn func()) *Timer {
+// the next trigger state or overflow interrupt after the deadline. Steady-
+// state calls are allocation-free: the timer node comes from a freelist and
+// the returned handle is a value.
+func (f *Facility) Schedule(d sim.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	f.seq++
-	t := &Timer{deadline: f.eng.Now().Add(d), fn: fn, seq: f.seq}
-	heap.Push(&f.q, t)
+	n := f.acquire()
+	n.deadline, n.fn, n.seq = f.eng.Now().Add(d), fn, f.seq
+	n.pending = true
+	f.q.push(n)
 	f.stats.Scheduled++
 	f.ensureOverflow()
-	return t
+	return Timer{n: n, gen: n.gen}
 }
 
-// Cancel removes a pending timer.
-func (f *Facility) Cancel(t *Timer) bool {
-	if t == nil || t.index < 0 {
+// Cancel removes a pending timer. Stale handles are safe and return false.
+func (f *Facility) Cancel(t Timer) bool {
+	if !t.Pending() {
 		return false
 	}
-	heap.Remove(&f.q, t.index)
+	f.q.remove(t.n)
+	f.release(t.n)
 	f.stats.Canceled++
-	if len(f.q) == 0 && f.overEv != nil && f.overEv.Pending() {
+	if f.q.len() == 0 && f.overEv.Pending() {
 		_ = f.eng.Cancel(f.overEv)
-		f.overEv = nil
 	}
 	return true
 }
@@ -121,11 +166,13 @@ func (f *Facility) TriggerState() int {
 }
 
 // fire delivers all due timers, attributing them to soft or hard delivery.
+// Each node is recycled before its callback runs, so a reschedule from
+// inside the callback reuses it immediately.
 func (f *Facility) fire(hard bool) int {
 	now := f.eng.Now()
 	n := 0
-	for len(f.q) > 0 && f.q[0].deadline <= now {
-		t := heap.Pop(&f.q).(*Timer)
+	for f.q.len() > 0 && f.q.items[0].deadline <= now {
+		t := f.q.pop()
 		lag := now.Sub(t.deadline)
 		f.stats.TotalLatency += lag
 		if lag > f.stats.MaxLatency {
@@ -137,52 +184,113 @@ func (f *Facility) fire(hard bool) int {
 			f.stats.SoftFired++
 		}
 		n++
-		t.fn()
+		fn := t.fn
+		f.release(t)
+		fn()
 	}
 	return n
 }
 
 // ensureOverflow keeps the hardware backstop armed while timers pend.
 func (f *Facility) ensureOverflow() {
-	if f.overEv != nil && f.overEv.Pending() {
+	if f.overEv.Pending() {
 		return
 	}
-	if len(f.q) == 0 {
+	if f.q.len() == 0 {
 		return
 	}
-	f.overEv = f.eng.After(f.overflow, "softtimer:overflow", func() {
-		f.stats.OverflowInterrupts++
-		f.fire(true)
-		f.overEv = nil
-		f.ensureOverflow()
-	})
+	f.overEv = f.eng.After(f.overflow, "softtimer:overflow", f.overflowFn)
 }
 
-type timerHeap []*Timer
+// timerHeap is an index-based binary min-heap over (deadline, seq) — the
+// same hand-rolled shape as the engine's heap queue, without container/heap
+// boxing.
+type timerHeap struct {
+	items []*timer
+}
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].deadline != h[j].deadline {
-		return h[i].deadline < h[j].deadline
+func timerLess(a, b *timer) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (h *timerHeap) len() int { return len(h.items) }
+
+func (h *timerHeap) push(n *timer) {
+	n.index = len(h.items)
+	h.items = append(h.items, n)
+	h.up(n.index)
 }
-func (h *timerHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
+
+func (h *timerHeap) pop() *timer {
+	n := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[0].index = 0
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	n.index = -1
+	return n
 }
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+
+func (h *timerHeap) remove(n *timer) {
+	i := n.index
+	last := len(h.items) - 1
+	if i != last {
+		h.items[i] = h.items[last]
+		h.items[i].index = i
+	}
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	n.index = -1
+}
+
+func (h *timerHeap) up(i int) {
+	items := h.items
+	n := items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := items[parent]
+		if !timerLess(n, p) {
+			break
+		}
+		items[i] = p
+		p.index = i
+		i = parent
+	}
+	items[i] = n
+	n.index = i
+}
+
+func (h *timerHeap) down(i int) {
+	items := h.items
+	n := items[i]
+	size := len(items)
+	for {
+		child := 2*i + 1
+		if child >= size {
+			break
+		}
+		if r := child + 1; r < size && timerLess(items[r], items[child]) {
+			child = r
+		}
+		c := items[child]
+		if !timerLess(c, n) {
+			break
+		}
+		items[i] = c
+		c.index = i
+		i = child
+	}
+	items[i] = n
+	n.index = i
 }

@@ -1,0 +1,74 @@
+package trace
+
+import "testing"
+
+// TestLogZeroAlloc guards the two steady states of the Log hot path: while
+// the buffer is within its preallocated storage, and once it is at capacity
+// (the drop path). Both must be allocation-free; between them the only cost
+// is amortized slice growth for buffers larger than the prealloc bound.
+// Run under -count=1 in CI (scripts/check.sh) so a regression fails.
+func TestLogZeroAlloc(t *testing.T) {
+	rec := Record{T: 1, Op: OpSet, TimerID: 7, Timeout: 42, Origin: 1}
+
+	within := NewBuffer(preallocRecords)
+	if allocs := testing.AllocsPerRun(1000, func() { within.Log(rec) }); allocs != 0 {
+		t.Errorf("Log within prealloc allocates %.1f objects/op, want 0", allocs)
+	}
+
+	full := NewBuffer(8)
+	for i := 0; i < 8; i++ {
+		full.Log(rec)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { full.Log(rec) }); allocs != 0 {
+		t.Errorf("Log at capacity allocates %.1f objects/op, want 0", allocs)
+	}
+	if full.Len() != 8 {
+		t.Fatalf("capacity overrun: Len = %d", full.Len())
+	}
+	if full.Counters().Dropped == 0 {
+		t.Fatal("drop path not exercised")
+	}
+
+	disabled := NewBuffer(0)
+	if allocs := testing.AllocsPerRun(1000, func() { disabled.Log(rec) }); allocs != 0 {
+		t.Errorf("Log with tracing disabled allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestNewBufferPreallocBounded pins the memory contract: small buffers
+// reserve exactly their capacity, huge buffers reserve only the bounded
+// prealloc (a full DefaultCapacity buffer must not commit 512 MiB eagerly).
+func TestNewBufferPreallocBounded(t *testing.T) {
+	if got := cap(NewBuffer(100).records); got != 100 {
+		t.Fatalf("small buffer prealloc = %d, want 100", got)
+	}
+	if got := cap(NewBuffer(DefaultCapacity).records); got != preallocRecords {
+		t.Fatalf("large buffer prealloc = %d, want %d", got, preallocRecords)
+	}
+	if got := cap(NewBuffer(0).records); got != 0 {
+		t.Fatalf("disabled buffer prealloc = %d, want 0", got)
+	}
+}
+
+func BenchmarkLog(b *testing.B) {
+	rec := Record{T: 1, Op: OpSet, TimerID: 7, Timeout: 42, Origin: 1}
+	b.Run("store", func(b *testing.B) {
+		buf := NewBuffer(DefaultCapacity)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Log(rec)
+		}
+	})
+	b.Run("at-capacity", func(b *testing.B) {
+		buf := NewBuffer(64)
+		for i := 0; i < 64; i++ {
+			buf.Log(rec)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Log(rec)
+		}
+	})
+}

@@ -112,9 +112,19 @@ type Buffer struct {
 // RecordSize-byte record size.
 const DefaultCapacity = 512 << 20 / RecordSize
 
+// preallocRecords bounds the record storage reserved eagerly at NewBuffer:
+// enough that short runs never grow the slice on the Log hot path, small
+// enough (2.5 MiB) that nine parallel full-capacity buffers don't commit
+// 512 MiB each up front. Buffers that outgrow it pay amortized append
+// growth, exactly as before.
+const preallocRecords = 1 << 16
+
 // NewBuffer returns a buffer holding at most capRecords records.
 func NewBuffer(capRecords int) *Buffer {
 	b := &Buffer{cap: capRecords, originID: make(map[string]uint32)}
+	if n := min(capRecords, preallocRecords); n > 0 {
+		b.records = make([]Record, 0, n)
+	}
 	// Origin 0 is reserved for "unknown".
 	b.origins = append(b.origins, "?")
 	return b

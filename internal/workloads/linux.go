@@ -31,7 +31,7 @@ type linuxSystem struct {
 }
 
 func newLinuxSystem(cfg Config) *linuxSystem {
-	eng := sim.NewEngine(cfg.Seed)
+	eng := cfg.newEngine()
 	tr := trace.NewBuffer(cfg.traceCap())
 	l := kernel.NewLinux(eng, tr)
 	sys := &linuxSystem{cfg: cfg, eng: eng, tr: tr, l: l, rng: eng.Rand()}

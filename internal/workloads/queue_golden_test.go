@@ -1,0 +1,44 @@
+package workloads
+
+import (
+	"testing"
+
+	"timerstudy/internal/sim"
+)
+
+// TestQueueKindsByteIdenticalTraces is the engine-level half of the golden
+// determinism contract: for all nine evaluation workloads, a heap-backed and
+// a wheel-backed engine must produce byte-identical traces and identical
+// wakeup accounting. Any divergence means one queue is not dequeuing in
+// strict (when, seq) order.
+func TestQueueKindsByteIdenticalTraces(t *testing.T) {
+	base := Config{Seed: 7, Duration: 20 * sim.Second}
+	heapCfg, wheelCfg := base, base
+	heapCfg.Queue = sim.QueueHeap
+	wheelCfg.Queue = sim.QueueWheel
+	heapRes := RunAll(EvaluationSpecs(heapCfg), 0)
+	wheelRes := RunAll(EvaluationSpecs(wheelCfg), 0)
+	if len(heapRes) != len(wheelRes) {
+		t.Fatalf("result counts differ: %d vs %d", len(heapRes), len(wheelRes))
+	}
+	for i := range heapRes {
+		h, w := heapRes[i], wheelRes[i]
+		if h.Name != w.Name || h.OS != w.OS {
+			t.Fatalf("result %d: order diverged (%s/%s vs %s/%s)", i, h.OS, h.Name, w.OS, w.Name)
+		}
+		if h.Trace.Len() != w.Trace.Len() {
+			t.Fatalf("%s/%s: record counts differ: heap %d, wheel %d",
+				h.OS, h.Name, h.Trace.Len(), w.Trace.Len())
+		}
+		wr := w.Trace.Records()
+		for j, r := range h.Trace.Records() {
+			if r != wr[j] {
+				t.Fatalf("%s/%s: record %d differs: heap %+v, wheel %+v",
+					h.OS, h.Name, j, r, wr[j])
+			}
+		}
+		if h.Stats != w.Stats {
+			t.Fatalf("%s/%s: stats differ: heap %+v, wheel %+v", h.OS, h.Name, h.Stats, w.Stats)
+		}
+	}
+}

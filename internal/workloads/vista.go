@@ -27,7 +27,7 @@ type vistaSystem struct {
 }
 
 func newVistaSystem(cfg Config) *vistaSystem {
-	eng := sim.NewEngine(cfg.Seed)
+	eng := cfg.newEngine()
 	tr := trace.NewBuffer(cfg.traceCap())
 	sys := &vistaSystem{cfg: cfg, eng: eng, tr: tr, k: ktimer.NewKernel(eng, tr), rng: eng.Rand(), nextPID: 3}
 	sys.net = netsim.NewNetwork(eng)

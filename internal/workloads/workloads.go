@@ -25,6 +25,15 @@ type Config struct {
 	// TraceCap bounds the in-memory trace; 0 means the paper's 512 MiB
 	// relayfs equivalent.
 	TraceCap int
+	// Queue selects the engine's event-queue implementation (default
+	// sim.QueueHeap). Traces are byte-identical across kinds; the choice
+	// only affects run time.
+	Queue sim.QueueKind
+}
+
+// newEngine builds the workload's engine from the config.
+func (c Config) newEngine() *sim.Engine {
+	return sim.NewEngine(c.Seed, sim.WithEventQueue(c.Queue))
 }
 
 // Default returns the paper's 30-minute configuration.

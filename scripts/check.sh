@@ -14,8 +14,14 @@ echo "== go test -race =="
 go test -race ./...
 
 echo "== parallel determinism golden test =="
-go test -race -count=2 -run 'TestParallelMatchesSerial|TestRunAllDeterministicAcrossWorkers' \
+go test -race -count=2 -run 'TestParallelMatchesSerial|TestRunAllDeterministicAcrossWorkers|TestQueueKindsByteIdenticalTraces' \
 	./cmd/experiments ./internal/workloads
+
+echo "== allocation regression (steady-state hot paths must be alloc-free) =="
+# Run WITHOUT -race: the race detector instruments allocations and would
+# make AllocsPerRun report false positives.
+go test -count=1 -run 'TestEngineZeroAllocSteadyState|TestEventAllocsPlateau|TestLogZeroAlloc' \
+	./internal/sim ./internal/trace
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime=1x ./...
