@@ -137,10 +137,14 @@ func BenchmarkAnalysisSinglePassPipeline(b *testing.B) {
 	b.ResetTimer()
 	var rep *analysis.Report
 	for i := 0; i < b.N; i++ {
-		rep = analysis.Pipeline{
+		var err error
+		rep, err = analysis.Pipeline{
 			Values: vPlain, ValuesFiltered: &vFilt, ValuesUser: &vUser,
 			Scatter: &sOpts, SeriesProcess: "Xorg", OriginMinSets: 50,
 		}.Run(res.Trace)
+		if err != nil {
+			b.Fatalf("Run: %v", err)
+		}
 	}
 	b.ReportMetric(float64(res.Trace.Len()), "records")
 	b.ReportMetric(float64(len(rep.Origins)), "origin-rows")
@@ -184,7 +188,7 @@ func BenchmarkFigure1VistaDesktopRate(b *testing.B) {
 	var outlookPeak, kernelMean float64
 	for i := 0; i < b.N; i++ {
 		res := workloads.RunVista(workloads.Desktop, workloads.Config{Seed: 1, Duration: 90 * sim.Second})
-		for _, s := range analysis.SetRates(res.Trace, res.Duration, workloads.DesktopGrouper(res.Trace)) {
+		for _, s := range analysis.SetRates(res.Trace, res.Duration, workloads.DesktopGrouper()) {
 			switch s.Group {
 			case "Outlook":
 				outlookPeak = float64(s.Peak())

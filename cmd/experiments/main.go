@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,6 +49,8 @@ var (
 	workersFl = flag.Int("j", 0, "workload worker pool size (0 = GOMAXPROCS)")
 	benchFl   = flag.String("bench", "", "write a machine-readable timing report (JSON) to this file")
 	queueFl   = flag.String("queue", "", "engine event queue: heap (default) or wheel")
+	spillFl   = flag.Bool("spill", false, "stream each trace to a temp file during the run and analyze it from disk (bounded memory)")
+	strictFl  = flag.Bool("strict", false, "exit nonzero if any run dropped trace records")
 	cpuproFl  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memproFl  = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 )
@@ -67,11 +70,13 @@ type artifacts struct {
 }
 
 // analyze reduces one finished run to its artifacts in a single pass over
-// the trace (lifecycles + summary + every histogram at once).
-func analyze(res *workloads.Result) artifacts {
+// the record source (summary + every histogram at once). The source may be
+// the run's own in-memory buffer or a spill file replaying from disk; the
+// artifacts are byte-identical either way.
+func analyze(res *workloads.Result, src trace.Source) (artifacts, error) {
 	sOpts := analysis.DefaultScatterOptions()
 	sOpts.ExcludeProcesses = []string{"Xorg", "icewm"}
-	rep := analysis.Pipeline{
+	rep, err := analysis.Pipeline{
 		Values: analysis.ValueOptions{JiffyBinKernel: res.OS == "linux", MinSharePercent: 2},
 		ValuesFiltered: &analysis.ValueOptions{
 			JiffyBinKernel: res.OS == "linux", MinSharePercent: 2,
@@ -83,7 +88,10 @@ func analyze(res *workloads.Result) artifacts {
 		Scatter:       &sOpts,
 		SeriesProcess: "Xorg",
 		OriginMinSets: 50,
-	}.Run(res.Trace)
+	}.Run(src)
+	if err != nil {
+		return artifacts{}, err
+	}
 	return artifacts{
 		name:    res.Name,
 		summary: rep.Summary,
@@ -94,7 +102,41 @@ func analyze(res *workloads.Result) artifacts {
 		scatter: rep.Scatter,
 		series:  rep.Series,
 		origins: rep.Origins,
+	}, nil
+}
+
+// runSpec executes one workload spec and hands its records to reduce as a
+// one-shot trace.Source. In-memory mode the source is the run's own buffer.
+// In spill mode the records stream to a temp file during the run (the buffer
+// is never built) and replay from disk, so peak memory is bounded by live
+// timers, not trace length; the file is removed before returning.
+func runSpec(spec workloads.Spec, spill bool, reduce func(res *workloads.Result, src trace.Source) error) (*workloads.Result, error) {
+	if !spill {
+		res := spec.Run()
+		return res, reduce(res, res.Trace)
 	}
+	f, err := os.CreateTemp("", "timerstudy-spill-*.trace")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		f.Close()
+		os.Remove(f.Name())
+	}()
+	sw := trace.NewStreamWriter(f)
+	spec.Cfg.Sink = sw
+	res := spec.Run()
+	if err := sw.Close(); err != nil {
+		return nil, fmt.Errorf("spill encode: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	src, err := trace.NewStreamReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("spill replay: %w", err)
+	}
+	return res, reduce(res, src)
 }
 
 // experimentSet holds every artifact the figure writer needs, in workload
@@ -107,11 +149,31 @@ type experimentSet struct {
 	vista        []artifacts
 	desktopRates []analysis.RateSeries
 	relations    []analysis.InferredRelation
+	dropped      []droppedRun
+}
+
+// droppedRun records a workload whose trace buffer overflowed: its analyses
+// silently cover only the stored prefix.
+type droppedRun struct {
+	os, name       string
+	dropped, total uint64
+}
+
+// warnDropped prints a warning per overflowed run and reports whether any
+// run dropped records.
+func warnDropped(w io.Writer, set experimentSet) bool {
+	for _, d := range set.dropped {
+		fmt.Fprintf(w, "WARNING: %s/%s dropped %d of %d trace records (buffer full); its analyses cover only the stored prefix — rerun with -spill or a larger trace cap\n",
+			d.os, d.name, d.dropped, d.total)
+	}
+	return len(set.dropped) > 0
 }
 
 // computeExperiments runs the ten evaluation traces on a pool of workers
-// and reduces each to its artifacts inside the worker goroutine.
-func computeExperiments(seed int64, dur sim.Duration, queue sim.QueueKind, workers int, bench *benchReport) experimentSet {
+// and reduces each to its artifacts inside the worker goroutine. With spill
+// the traces stream to temp files instead of memory; the artifacts are
+// byte-identical (TestSpillMatchesMemory).
+func computeExperiments(seed int64, dur sim.Duration, queue sim.QueueKind, workers int, spill bool, bench *benchReport) (experimentSet, error) {
 	cfg := workloads.Config{Seed: seed, Duration: dur, Queue: queue}
 	specs := workloads.EvaluationSpecs(cfg)
 	desktopIdx := len(specs) - 1
@@ -131,6 +193,7 @@ func computeExperiments(seed int64, dur sim.Duration, queue sim.QueueKind, worke
 		workers = runtime.GOMAXPROCS(0)
 	}
 	timings := make([]runTiming, len(specs))
+	errs := make([]error, len(specs))
 
 	var phase0 runtime.MemStats
 	if bench != nil {
@@ -154,22 +217,41 @@ func computeExperiments(seed int64, dur sim.Duration, queue sim.QueueKind, worke
 					runtime.ReadMemStats(&m0)
 				}
 				t0 := time.Now()
-				res := specs[i].Run()
-				t1 := time.Now()
-				switch {
-				case i < len(set.linux):
-					set.linux[i] = analyze(res)
-				case i < desktopIdx:
-					set.vista[i-len(set.linux)] = analyze(res)
-				case i == desktopIdx:
-					set.desktopRates = analysis.SetRates(res.Trace, res.Duration, workloads.DesktopGrouper(res.Trace))
-				case i == relationsIdx:
-					set.relations = analysis.InferRelations(analysis.Lifecycles(res.Trace), analysis.InferOptions{})
+				var t1 time.Time
+				res, err := runSpec(specs[i], spill, func(res *workloads.Result, src trace.Source) error {
+					t1 = time.Now()
+					switch {
+					case i < len(set.linux):
+						a, err := analyze(res, src)
+						if err != nil {
+							return err
+						}
+						set.linux[i] = a
+					case i < desktopIdx:
+						a, err := analyze(res, src)
+						if err != nil {
+							return err
+						}
+						set.vista[i-len(set.linux)] = a
+					case i == desktopIdx:
+						set.desktopRates = analysis.SetRates(src, res.Duration, workloads.DesktopGrouper())
+					case i == relationsIdx:
+						set.relations = analysis.InferRelations(analysis.Lifecycles(src), analysis.InferOptions{})
+					}
+					return nil
+				})
+				if err != nil {
+					errs[i] = fmt.Errorf("%s/%s: %w", specs[i].OS, specs[i].Name, err)
+					continue
+				}
+				if t1.IsZero() {
+					t1 = time.Now()
 				}
 				timings[i] = runTiming{
 					run:     t1.Sub(t0),
 					analyze: time.Since(t1),
-					records: res.Trace.Len(),
+					records: int(res.Counters.Total - res.Counters.Dropped),
+					dropped: res.Counters.Dropped,
 				}
 				if bench != nil {
 					runtime.ReadMemStats(&m1)
@@ -192,8 +274,20 @@ func computeExperiments(seed int64, dur sim.Duration, queue sim.QueueKind, worke
 		phaseMallocs = phase1.Mallocs - phase0.Mallocs
 		phaseBytes = phase1.TotalAlloc - phase0.TotalAlloc
 	}
+	for i, e := range errs {
+		if e != nil {
+			return set, e
+		}
+		if timings[i].dropped > 0 {
+			set.dropped = append(set.dropped, droppedRun{
+				os: specs[i].OS, name: specs[i].Name,
+				dropped: timings[i].dropped,
+				total:   timings[i].dropped + uint64(timings[i].records),
+			})
+		}
+	}
 	bench.recordCompute(specs, timings, workers, wall, phaseMallocs, phaseBytes)
-	return set
+	return set, nil
 }
 
 func headerTo(w io.Writer, s string) {
@@ -314,8 +408,16 @@ func run() int {
 		}}
 	}
 
-	set := computeExperiments(*seedFlag, dur, queue, *workersFl, bench)
+	set, err := computeExperiments(*seedFlag, dur, queue, *workersFl, *spillFl, bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
 	writeFigures(os.Stdout, set, bench)
+	if warnDropped(os.Stderr, set) && *strictFl {
+		fmt.Fprintln(os.Stderr, "experiments: -strict: trace records were dropped")
+		return 1
+	}
 
 	bench.section("section-3.2-overhead", func() {
 		header("Section 3.2: instrumentation overhead")
@@ -347,6 +449,9 @@ func run() int {
 	})
 
 	if bench != nil {
+		bench.section("stream-codec-bench", func() {
+			bench.Stream = streamBench()
+		})
 		if err := bench.writeFile(*benchFl); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *benchFl, err)
 			return 1
@@ -375,7 +480,8 @@ func run() int {
 type runTiming struct {
 	run        time.Duration
 	analyze    time.Duration
-	records    int
+	records    int // stored (analyzed) records
+	dropped    uint64
 	mallocs    uint64
 	allocBytes uint64
 }
@@ -433,11 +539,72 @@ type benchTotals struct {
 	AllocsPerRecord float64 `json:"allocs_per_record"`
 }
 
+// benchStream reports v2 stream-codec throughput, measured over an
+// in-memory synthetic trace so disk speed doesn't pollute the numbers.
+type benchStream struct {
+	Records         int     `json:"records"`
+	Bytes           int     `json:"bytes"`
+	EncodeMS        float64 `json:"encode_ms"`
+	DecodeMS        float64 `json:"decode_ms"`
+	EncodeMBPerSec  float64 `json:"encode_mb_per_sec"`
+	DecodeMBPerSec  float64 `json:"decode_mb_per_sec"`
+	EncodeRecPerSec float64 `json:"encode_records_per_sec"`
+	DecodeRecPerSec float64 `json:"decode_records_per_sec"`
+}
+
 type benchReport struct {
 	Config   benchConfig    `json:"config"`
 	Runs     []benchRun     `json:"runs"`
 	Sections []benchSection `json:"sections"`
+	Stream   *benchStream   `json:"stream,omitempty"`
 	Totals   benchTotals    `json:"totals"`
+}
+
+// streamBench encodes a synthetic trace through StreamWriter and replays it
+// through StreamReader, reporting both directions' throughput.
+func streamBench() *benchStream {
+	const n = 1 << 21
+	var buf bytes.Buffer
+	t0 := time.Now()
+	sw := trace.NewStreamWriter(&buf)
+	origins := make([]uint32, 64)
+	for i := range origins {
+		origins[i] = sw.Origin(fmt.Sprintf("bench/origin-%d", i))
+	}
+	r := trace.Record{Op: trace.OpSet, Timeout: int64(10 * sim.Millisecond)}
+	for i := 0; i < n; i++ {
+		r.T = sim.Time(i)
+		r.TimerID = uint64(i % 1024)
+		r.Origin = origins[i%len(origins)]
+		sw.Log(r)
+	}
+	if err := sw.Close(); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	enc := time.Since(t0)
+
+	t0 = time.Now()
+	sr, err := trace.NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		panic(err)
+	}
+	got := 0
+	if err := sr.ForEach(func(trace.Record) { got++ }); err != nil || got != n {
+		panic(fmt.Sprintf("stream bench replay: %d records, %v", got, err))
+	}
+	dec := time.Since(t0)
+
+	mb := float64(buf.Len()) / (1 << 20)
+	return &benchStream{
+		Records:         n,
+		Bytes:           buf.Len(),
+		EncodeMS:        ms(enc),
+		DecodeMS:        ms(dec),
+		EncodeMBPerSec:  mb / enc.Seconds(),
+		DecodeMBPerSec:  mb / dec.Seconds(),
+		EncodeRecPerSec: float64(n) / enc.Seconds(),
+		DecodeRecPerSec: float64(n) / dec.Seconds(),
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -674,7 +841,7 @@ func overheadExperiment(cfg workloads.Config) {
 		c.Duration = 2 * sim.Minute
 		start := time.Now()
 		res := workloads.RunLinux(workloads.Firefox, c)
-		return res.Trace.Counters().Total, time.Since(start)
+		return res.Counters.Total, time.Since(start)
 	}
 	fullOps, fullT := run(trace.DefaultCapacity)
 	bareOps, bareT := run(1) // store (almost) nothing, count everything

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"timerstudy/internal/analysis"
@@ -19,7 +20,10 @@ const goldenDuration = 30 * sim.Second
 // the binary heap or the timing wheel.
 func TestParallelMatchesSerial(t *testing.T) {
 	render := func(workers int, queue sim.QueueKind) []byte {
-		set := computeExperiments(1, goldenDuration, queue, workers, nil)
+		set, err := computeExperiments(1, goldenDuration, queue, workers, false, nil)
+		if err != nil {
+			t.Fatalf("computeExperiments: %v", err)
+		}
 		var buf bytes.Buffer
 		writeFigures(&buf, set, nil)
 		fmt.Fprint(&buf, analysis.RenderRelations(set.relations))
@@ -53,7 +57,10 @@ func TestParallelMatchesSerial(t *testing.T) {
 // evaluation trace plus per-section timings, with sane totals.
 func TestBenchReportShape(t *testing.T) {
 	bench := &benchReport{}
-	set := computeExperiments(1, goldenDuration, sim.QueueHeap, 2, bench)
+	set, err := computeExperiments(1, goldenDuration, sim.QueueHeap, 2, false, bench)
+	if err != nil {
+		t.Fatalf("computeExperiments: %v", err)
+	}
 	writeFigures(&bytes.Buffer{}, set, bench)
 
 	if len(bench.Runs) != 10 {
@@ -81,5 +88,65 @@ func TestBenchReportShape(t *testing.T) {
 	}
 	if bench.Totals.RecordsAnalyzed <= 0 {
 		t.Fatalf("records not summed: %+v", bench.Totals)
+	}
+}
+
+// TestSpillMatchesMemory is the golden determinism test for the streaming
+// path: every table and figure must be byte-identical whether each trace is
+// analyzed from its in-memory buffer or spilled to a v2 file during the run
+// and replayed from disk.
+func TestSpillMatchesMemory(t *testing.T) {
+	render := func(spill bool) []byte {
+		set, err := computeExperiments(1, goldenDuration, sim.QueueHeap, 4, spill, nil)
+		if err != nil {
+			t.Fatalf("computeExperiments(spill=%v): %v", spill, err)
+		}
+		if warnDropped(&bytes.Buffer{}, set) {
+			t.Fatalf("golden run dropped records (spill=%v)", spill)
+		}
+		var buf bytes.Buffer
+		writeFigures(&buf, set, nil)
+		fmt.Fprint(&buf, analysis.RenderRelations(set.relations))
+		return buf.Bytes()
+	}
+	mem := render(false)
+	spilled := render(true)
+	if !bytes.Equal(mem, spilled) {
+		ml, sl := bytes.Split(mem, []byte("\n")), bytes.Split(spilled, []byte("\n"))
+		for i := 0; i < len(ml) && i < len(sl); i++ {
+			if !bytes.Equal(ml[i], sl[i]) {
+				t.Fatalf("spill output diverges at line %d:\nmemory: %s\nspill:  %s", i+1, ml[i], sl[i])
+			}
+		}
+		t.Fatalf("spill output lengths differ: memory %d lines, spill %d lines", len(ml), len(sl))
+	}
+}
+
+// TestWarnDropped checks the overflow warning fires per dropped run, names
+// the workload and counts, and stays silent on clean sets.
+func TestWarnDropped(t *testing.T) {
+	var buf bytes.Buffer
+	if warnDropped(&buf, experimentSet{}) {
+		t.Fatal("clean set reported drops")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("clean set produced output: %q", buf.String())
+	}
+	set := experimentSet{dropped: []droppedRun{
+		{os: "linux", name: "idle", dropped: 5, total: 100},
+		{os: "vista", name: "skype", dropped: 7, total: 200},
+	}}
+	if !warnDropped(&buf, set) {
+		t.Fatal("dropped runs not reported")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"WARNING: linux/idle dropped 5 of 100 trace records",
+		"WARNING: vista/skype dropped 7 of 200 trace records",
+		"-spill",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("warning output missing %q:\n%s", want, out)
+		}
 	}
 }

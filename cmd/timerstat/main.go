@@ -5,6 +5,12 @@
 // expiry/cancelation scatter (Figures 8-11), and the origins table
 // (Table 3).
 //
+// Both trace formats are auto-detected: the v1 in-memory format and the
+// chunked v2 stream format (timertrace -stream). Everything except -deps
+// runs in one streaming pass with memory bounded by live timers, so a v2
+// trace larger than RAM analyses fine; -deps materializes per-timer
+// histories and needs O(trace) memory.
+//
 // Usage:
 //
 //	timerstat -summary -classes -values trace.bin
@@ -19,11 +25,10 @@ import (
 	"strings"
 
 	"timerstudy/internal/analysis"
-	"timerstudy/internal/sim"
 	"timerstudy/internal/trace"
 )
 
-func main() {
+func run() int {
 	summary := flag.Bool("summary", false, "print the trace summary (Tables 1-2)")
 	classes := flag.Bool("classes", false, "print usage-pattern shares (Figure 2)")
 	values := flag.Bool("values", false, "print the common-value histogram (Figures 3/5/6/7)")
@@ -36,90 +41,112 @@ func main() {
 	origins := flag.Bool("origins", false, "print the origins table (Table 3)")
 	minSets := flag.Int("min-sets", 20, "origins table: minimum sets per origin")
 	series := flag.String("series", "", "print the set-time/value dot plot for a process (Figure 4)")
-	deps := flag.Bool("deps", false, "infer timer dependency/overlap relations (Section 5.2)")
+	deps := flag.Bool("deps", false, "infer timer dependency/overlap relations (Section 5.2; needs O(trace) memory)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: timerstat [flags] trace-file")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return 2
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
-		os.Exit(1)
+	if !*summary && !*classes && !*values && !*scatter && !*origins && *series == "" && !*deps {
+		fmt.Fprintln(os.Stderr, "timerstat: nothing to do; pass -summary, -classes, -values, -scatter, -origins, -series or -deps")
+		return 2
 	}
-	tr, err := trace.Decode(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
-		os.Exit(1)
-	}
-
-	ls := analysis.Lifecycles(tr)
+	path := flag.Arg(0)
 	var excl []string
 	if *exclude != "" {
 		excl = strings.Split(*exclude, ",")
 	}
-	any := false
-	if *summary {
-		any = true
-		s := analysis.Summarize(tr)
-		fmt.Print(analysis.RenderSummaryTable("Trace summary", []string{"value"}, []analysis.Summary{s}))
-		fmt.Printf("Clustered    %12d (distinct origin+pid)\n\n", s.ClusteredTimers)
-	}
-	if *classes {
-		any = true
-		fmt.Println("Usage patterns (Figure 2):")
-		fmt.Print(analysis.RenderClassShares([]string{"share"}, []analysis.ClassShares{analysis.ComputeClassShares(ls)}))
-		fmt.Println()
-	}
-	if *values {
-		any = true
-		entries, total := analysis.CommonValues(ls, analysis.ValueOptions{
+
+	// One streaming pass computes every requested artifact; a v2 source is
+	// consumed incrementally, never materialized.
+	p := analysis.Pipeline{
+		Values: analysis.ValueOptions{
 			UserOnly:           *userOnly,
 			ExcludeProcesses:   excl,
 			CollapseCountdowns: *collapse,
 			JiffyBinKernel:     *jiffyBin,
 			MinSharePercent:    *minShare,
-		})
-		fmt.Printf("Common timeout values (>=%.1f%% of %d samples):\n", *minShare, total)
-		fmt.Print(analysis.RenderValues(entries))
+		},
+		SeriesProcess: *series,
+	}
+	if *scatter {
+		opts := analysis.DefaultScatterOptions()
+		opts.ExcludeProcesses = excl
+		p.Scatter = &opts
+	}
+	if *origins {
+		p.OriginMinSets = *minSets
+	}
+	rep, err := func() (*analysis.Report, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		src, err := trace.Open(f)
+		if err != nil {
+			return nil, err
+		}
+		return p.Run(src)
+	}()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
+		return 1
+	}
+
+	if *summary {
+		s := rep.Summary
+		fmt.Print(analysis.RenderSummaryTable("Trace summary", []string{"value"}, []analysis.Summary{s}))
+		fmt.Printf("Clustered    %12d (distinct origin+pid)\n\n", s.ClusteredTimers)
+	}
+	if *classes {
+		fmt.Println("Usage patterns (Figure 2):")
+		fmt.Print(analysis.RenderClassShares([]string{"share"}, []analysis.ClassShares{rep.Shares}))
+		fmt.Println()
+	}
+	if *values {
+		fmt.Printf("Common timeout values (>=%.1f%% of %d samples):\n", *minShare, rep.ValuesTotal)
+		fmt.Print(analysis.RenderValues(rep.Values))
 		fmt.Println()
 	}
 	if *scatter {
-		any = true
 		fmt.Println("Expiry/cancelation vs timeout (Figures 8-11):")
-		opts := analysis.DefaultScatterOptions()
-		opts.ExcludeProcesses = excl
-		fmt.Print(analysis.RenderScatter(analysis.Scatter(ls, opts)))
+		fmt.Print(analysis.RenderScatter(rep.Scatter))
 		fmt.Println()
 	}
 	if *origins {
-		any = true
 		fmt.Println("Origins (Table 3):")
-		fmt.Print(analysis.RenderOrigins(analysis.OriginTable(ls, *minSets)))
+		fmt.Print(analysis.RenderOrigins(rep.Origins))
 		fmt.Println()
 	}
 	if *series != "" {
-		any = true
-		pts := analysis.SetSeries(ls, *series)
-		var end sim.Time
-		for _, r := range tr.Records() {
-			if r.T > end {
-				end = r.T
-			}
-		}
-		fmt.Printf("Set series for %s (Figure 4), %d points:\n", *series, len(pts))
-		fmt.Print(analysis.RenderSeries(pts, end.Sub(0)))
+		fmt.Printf("Set series for %s (Figure 4), %d points:\n", *series, len(rep.Series))
+		fmt.Print(analysis.RenderSeries(rep.Series, rep.End.Sub(0)))
 	}
 	if *deps {
-		any = true
+		// Relations need every use of every timer at once; reopen the file
+		// (stream sources are one-shot) and materialize the histories.
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
+			return 1
+		}
+		src, err := trace.Open(f)
+		if err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
+			return 1
+		}
+		ls := analysis.Lifecycles(src)
+		f.Close()
 		fmt.Println("Inferred timer relations (Section 5.2):")
 		fmt.Print(analysis.RenderRelations(analysis.InferRelations(ls, analysis.InferOptions{})))
 	}
-	if !any {
-		fmt.Fprintln(os.Stderr, "timerstat: nothing to do; pass -summary, -classes, -values, -scatter, -origins, -series or -deps")
-		os.Exit(2)
-	}
+	return 0
+}
+
+func main() {
+	os.Exit(run())
 }

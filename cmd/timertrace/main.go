@@ -2,9 +2,16 @@
 // Linux or Vista system and writes the resulting binary timer trace — the
 // equivalent of the paper's relayfs/ETW collection step.
 //
+// By default the trace is buffered in memory and written in the v1 format
+// at the end. With -stream the records spill to the output file in the
+// chunked v2 format while the simulation runs, so memory stays bounded by
+// live timers and the trace can exceed RAM. timerstat auto-detects both
+// formats; the record streams are byte-for-byte identical.
+//
 // Usage:
 //
 //	timertrace -os linux -workload firefox -duration 30m -seed 1 -o firefox.trace
+//	timertrace -os vista -workload desktop -stream -o desktop.trace
 //
 // Workloads: idle, skype, firefox, webserver; the Vista personality also
 // offers "desktop" (the 90-second Figure 1 trace).
@@ -18,18 +25,38 @@ import (
 
 	"timerstudy/internal/analysis"
 	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
 	"timerstudy/internal/workloads"
 )
 
-func main() {
+func run() int {
 	osName := flag.String("os", "linux", "personality: linux or vista")
 	workload := flag.String("workload", "idle", "idle, skype, firefox, webserver, desktop (vista only)")
 	duration := flag.Duration("duration", 30*time.Minute, "virtual trace duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	stream := flag.Bool("stream", false, "stream records to the output in the v2 format during the run (bounded memory)")
 	out := flag.String("o", "", "output trace file (default <os>-<workload>.trace)")
 	flag.Parse()
 
 	cfg := workloads.Config{Seed: *seed, Duration: sim.FromStd(*duration)}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%s.trace", *osName, *workload)
+	}
+
+	var f *os.File
+	var sw *trace.StreamWriter
+	if *stream {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "timertrace: %v\n", err)
+			return 1
+		}
+		sw = trace.NewStreamWriter(f)
+		cfg.Sink = sw
+	}
+
 	var res *workloads.Result
 	switch *osName {
 	case "linux":
@@ -38,29 +65,66 @@ func main() {
 		res = workloads.RunVista(*workload, cfg)
 	default:
 		fmt.Fprintf(os.Stderr, "timertrace: unknown personality %q\n", *osName)
-		os.Exit(2)
+		return 2
 	}
 
-	path := *out
-	if path == "" {
-		path = fmt.Sprintf("%s-%s.trace", res.OS, res.Name)
+	if *stream {
+		if err := sw.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "timertrace: writing %s: %v\n", path, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "timertrace: closing %s: %v\n", path, err)
+			return 1
+		}
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "timertrace: %v\n", err)
+			return 1
+		}
+		if err := res.Trace.Encode(f); err != nil {
+			fmt.Fprintf(os.Stderr, "timertrace: writing %s: %v\n", path, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "timertrace: closing %s: %v\n", path, err)
+			return 1
+		}
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "timertrace: %v\n", err)
-		os.Exit(1)
-	}
-	if err := res.Trace.Encode(f); err != nil {
-		fmt.Fprintf(os.Stderr, "timertrace: writing %s: %v\n", path, err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "timertrace: closing %s: %v\n", path, err)
-		os.Exit(1)
-	}
-	s := analysis.Summarize(res.Trace)
+
+	c := res.Counters
 	fmt.Printf("%s/%s: %v of virtual time, %d records (%d dropped) -> %s\n",
-		res.OS, res.Name, res.Duration, res.Trace.Len(), res.Trace.Counters().Dropped, path)
+		res.OS, res.Name, res.Duration, c.Total-c.Dropped, c.Dropped, path)
+
+	// Summarize from the written file: in stream mode the records were never
+	// held in memory, so replay them; in buffer mode this doubles as a
+	// round-trip check of what was just encoded.
+	s, err := func() (analysis.Summary, error) {
+		rf, err := os.Open(path)
+		if err != nil {
+			return analysis.Summary{}, err
+		}
+		defer rf.Close()
+		src, err := trace.Open(rf)
+		if err != nil {
+			return analysis.Summary{}, err
+		}
+		rep, err := analysis.Pipeline{}.Run(src)
+		if err != nil {
+			return analysis.Summary{}, err
+		}
+		return rep.Summary, nil
+	}()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "timertrace: reading back %s: %v\n", path, err)
+		return 1
+	}
 	fmt.Printf("timers=%d concurrency=%d accesses=%d user=%d kernel=%d set=%d expired=%d canceled=%d\n",
 		s.Timers, s.Concurrency, s.Accesses, s.UserSpace, s.Kernel, s.Set, s.Expired, s.Canceled)
+	return 0
+}
+
+func main() {
+	os.Exit(run())
 }

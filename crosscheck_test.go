@@ -63,9 +63,12 @@ func TestPipelineMatchesLegacyOnWorkload(t *testing.T) {
 	sOpts := analysis.DefaultScatterOptions()
 	sOpts.ExcludeProcesses = []string{"Xorg", "icewm"}
 	vPlain := analysis.ValueOptions{JiffyBinKernel: true, MinSharePercent: 2}
-	rep := analysis.Pipeline{
+	rep, err := analysis.Pipeline{
 		Values: vPlain, Scatter: &sOpts, OriginMinSets: 50,
 	}.Run(res.Trace)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 
 	ls := analysis.Lifecycles(res.Trace)
 	if got, want := rep.Summary, analysis.Summarize(res.Trace); got != want {

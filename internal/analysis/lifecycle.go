@@ -110,15 +110,16 @@ type TimerLife struct {
 // reconstructs per-timer histories AND tallies the Table 1/2 summary in the
 // same pass, so the raw-record counts and the lifecycle-derived analyses can
 // never drift apart. Records must be in time order (trace buffers append in
-// execution order, so they are).
-func buildLifecycles(tr *trace.Buffer) ([]*TimerLife, Summary) {
+// execution order, so they are). The result reflects the records read before
+// any source error.
+func buildLifecycles(src trace.Source) ([]*TimerLife, Summary, error) {
 	var sum Summary
 	byID := make(map[uint64]*TimerLife)
 	order := make([]uint64, 0, 64)
 	get := func(r trace.Record) *TimerLife {
 		tl, ok := byID[r.TimerID]
 		if !ok {
-			tl = &TimerLife{ID: r.TimerID, PID: r.PID, Origin: tr.OriginName(r.Origin)}
+			tl = &TimerLife{ID: r.TimerID, PID: r.PID, Origin: src.OriginName(r.Origin)}
 			byID[r.TimerID] = tl
 			order = append(order, r.TimerID)
 		}
@@ -129,7 +130,7 @@ func buildLifecycles(tr *trace.Buffer) ([]*TimerLife, Summary) {
 			tl.Deferrable = true
 		}
 		if tl.Origin == "?" {
-			tl.Origin = tr.OriginName(r.Origin)
+			tl.Origin = src.OriginName(r.Origin)
 		}
 		return tl
 	}
@@ -139,7 +140,7 @@ func buildLifecycles(tr *trace.Buffer) ([]*TimerLife, Summary) {
 	}
 	clusters := make(map[cluster]bool)
 	open := make(map[uint64]int) // timer id -> index of open use
-	for _, r := range tr.Records() {
+	err := src.ForEach(func(r trace.Record) {
 		tl := get(r)
 		tl.Ops++
 		sum.Accesses++
@@ -193,19 +194,23 @@ func buildLifecycles(tr *trace.Buffer) ([]*TimerLife, Summary) {
 				tl.OrphanExpires++
 			}
 		}
-	}
+	})
 	sum.Timers = len(order)
 	sum.ClusteredTimers = len(clusters)
 	out := make([]*TimerLife, 0, len(order))
 	for _, id := range order {
 		out = append(out, byID[id])
 	}
-	return out, sum
+	return out, sum, err
 }
 
-// Lifecycles reconstructs per-timer histories from a trace.
-func Lifecycles(tr *trace.Buffer) []*TimerLife {
-	ls, _ := buildLifecycles(tr)
+// Lifecycles reconstructs per-timer histories from a trace. Memory is
+// O(records): every use of every timer is materialized. In-memory buffers
+// never fail; for a fallible file-backed Source the histories reflect the
+// records read before the error — validate such sources with Pipeline.Run
+// (or a prior full read) when the distinction matters.
+func Lifecycles(src trace.Source) []*TimerLife {
+	ls, _, _ := buildLifecycles(src)
 	return ls
 }
 

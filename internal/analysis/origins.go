@@ -50,18 +50,37 @@ func (a *originAcc) observe(tl *TimerLife, class Class) {
 	if len(tl.Uses) == 0 {
 		return
 	}
-	s, ok := a.byOrigin[tl.Origin]
+	a.observeTimer(tl.Origin, class)
+	for _, u := range tl.Uses {
+		a.observeUse(tl.Origin, tl.User, u.Timeout)
+	}
+}
+
+func (a *originAcc) stats(origin string) *originStats {
+	s, ok := a.byOrigin[origin]
 	if !ok {
 		s = &originStats{values: map[sim.Duration]int{}}
-		a.byOrigin[tl.Origin] = s
+		a.byOrigin[origin] = s
 	}
+	return s
+}
+
+// observeUse folds one arming into its origin's value histogram; the
+// streaming pipeline calls it as uses open.
+func (a *originAcc) observeUse(origin string, user bool, v sim.Duration) {
+	s := a.stats(origin)
+	b, _ := a.vo.binAttrs(user, v)
+	s.values[b]++
+	s.sets++
+}
+
+// observeTimer folds one timer's identity and class into its origin row;
+// the streaming pipeline calls it at end of trace, for timers with at
+// least one use.
+func (a *originAcc) observeTimer(origin string, class Class) {
+	s := a.stats(origin)
 	s.timers++
 	s.class[class]++
-	for _, u := range tl.Uses {
-		b, _ := a.vo.bin(tl, u.Timeout)
-		s.values[b]++
-		s.sets++
-	}
 }
 
 func (a *originAcc) finish() []OriginRow {

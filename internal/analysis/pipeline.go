@@ -1,21 +1,28 @@
 package analysis
 
-import "timerstudy/internal/trace"
+import (
+	"sort"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
 
 // Pipeline computes every per-workload artifact of the paper's evaluation in
-// a single pass: one walk over the raw records (lifecycle reconstruction +
-// the Table 1/2 summary, via buildLifecycles) followed by one walk over the
-// lifecycles that feeds all selected accumulators at once — class shares
-// (Figure 2), up to three value histograms (Figures 3, 5, 6, 7), the
+// a single streaming pass over a trace.Source: the Table 1/2 summary, class
+// shares (Figure 2), up to three value histograms (Figures 3, 5, 6, 7), the
 // expiry/cancelation scatter (Figures 8-11), the per-process set series
-// (Figure 4), and the origin table (Table 3). Countdown-chain detection and
-// classification run at most once per timer and are shared by every
-// consumer.
+// (Figure 4), and the origin table (Table 3). Memory is bounded by the
+// number of distinct timer identities (each contributes a fixed-size
+// accumulator) plus the size of the report itself — never by trace length —
+// so a StreamReader over a file larger than RAM analyses in constant memory.
 //
-// The accumulators are the same ones behind CommonValues, Scatter,
-// SetSeries, ComputeClassShares and OriginTable, so a pipeline run is
-// byte-for-byte equivalent to calling those six functions independently —
-// it just walks the data once instead of six times.
+// The per-use folds reuse the same accumulators behind CommonValues,
+// Scatter, SetSeries, ComputeClassShares and OriginTable, and the fold
+// points are chosen so a pipeline run is byte-for-byte equivalent to
+// reconstructing full lifecycles and calling those functions independently.
+// The one assumption the streaming fold adds is that a timer's user flag
+// and origin are constant across its records (true of every facility in
+// this repo; crosscheck tests verify it on real workload traces).
 type Pipeline struct {
 	// Values configures the headline histogram (Figures 3 and 7).
 	Values ValueOptions
@@ -38,9 +45,8 @@ type Pipeline struct {
 type Report struct {
 	// Summary is the Table 1/2 column, counted over the raw record stream.
 	Summary Summary
-	// Lifecycles are the reconstructed per-timer histories the rest of the
-	// report was computed from.
-	Lifecycles []*TimerLife
+	// End is the largest record timestamp seen (zero for an empty trace).
+	End sim.Time
 	// Shares is the Figure 2 usage-pattern tally.
 	Shares ClassShares
 	// Values/ValuesFiltered/ValuesUser are the requested histograms with
@@ -59,18 +65,126 @@ type Report struct {
 	Origins []OriginRow
 }
 
-// Run executes the pipeline over one trace.
-func (p Pipeline) Run(tr *trace.Buffer) *Report {
-	ls, sum := buildLifecycles(tr)
-	rep := &Report{Summary: sum, Lifecycles: ls}
+// streamTimer is the bounded per-timer state the streaming pass keeps in
+// place of a full TimerLife: classification tallies, the open use, the
+// previous closed use (for immediate-reset pairing) and the one pending use
+// whose countdown-chain membership the next arming decides. Everything else
+// folds into the shared accumulators as uses open and close.
+type streamTimer struct {
+	originName string
+	user       bool
+
+	// The currently armed use, if any.
+	open    bool
+	openUse Use
+	// candImmediate marks an open use whose arming followed the previous
+	// use's expiry within the jitter tolerance; it counts toward the
+	// periodic signature only if this use closes (matching Classify's
+	// truncated-slice semantics).
+	candImmediate bool
+
+	// Previous closed use, for the expiry→re-set pairing.
+	hasPrev   bool
+	prevEnd   EndKind
+	prevEndAt sim.Time
+
+	// Countdown-chain detection: membership of the most recently opened
+	// use resolves when the next one opens (or at end of trace).
+	hasPend  bool
+	pend     Use
+	fromPrev bool
+
+	// Tallies over closed uses — exactly the uses Classify sees after
+	// dropping a trailing dangling one.
+	closed       int
+	expired      int
+	canceled     int
+	reset        int
+	earlyCancels int
+	immediate    int
+	tvals        map[sim.Duration]int
+
+	// hasUse reports at least one arming ever (gates the Figure 2 tally).
+	hasUse bool
+
+	// pts collects the timer's Figure 4 points when its process matches.
+	pts []SeriesPoint
+}
+
+// classify mirrors Classify over the closed-use tallies.
+func (t *streamTimer) classify() Class {
+	total := t.closed
+	if total < 2 {
+		return ClassOther
+	}
+	if !t.constantValue() {
+		return ClassOther
+	}
+	switch {
+	case t.expired == 0 && t.reset > 0 && t.reset >= t.canceled:
+		return ClassWatchdog
+	case t.reset > 0 && t.expired > 0 && t.canceled*10 <= total:
+		return ClassDeferred
+	case t.expired*10 >= total*9:
+		if t.expired > 0 && float64(t.immediate)/float64(t.expired) >= 0.8 {
+			return ClassPeriodic
+		}
+		return ClassDelay
+	case t.canceled*10 >= total*8 && t.canceled > 0 && t.earlyCancels*10 >= t.canceled*8:
+		return ClassTimeout
+	default:
+		return ClassOther
+	}
+}
+
+// constantValue mirrors constantValue over the timeout histogram: the
+// median of the closed-use multiset and the 90 %-within-tolerance rule.
+func (t *streamTimer) constantValue() bool {
+	n := t.closed
+	vals := make([]sim.Duration, 0, len(t.tvals))
+	for v := range t.tvals {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	var median sim.Duration
+	cum := 0
+	for _, v := range vals {
+		cum += t.tvals[v]
+		if n/2 < cum {
+			median = v
+			break
+		}
+	}
+	within := 0
+	for _, v := range vals {
+		d := v - median
+		if d < 0 {
+			d = -d
+		}
+		if d <= JitterTolerance {
+			within += t.tvals[v]
+		}
+	}
+	return within*10 >= n*9
+}
+
+// Run executes the pipeline over one trace in a single pass. Errors come
+// from the source (a truncated or corrupt stream); an in-memory Buffer
+// never fails.
+func (p Pipeline) Run(src trace.Source) (*Report, error) {
+	rep := &Report{}
+	sum := &rep.Summary
 
 	values := newValueAcc(p.Values)
+	vaccs := []*valueAcc{values}
 	var valuesF, valuesU *valueAcc
 	if p.ValuesFiltered != nil {
 		valuesF = newValueAcc(*p.ValuesFiltered)
+		vaccs = append(vaccs, valuesF)
 	}
 	if p.ValuesUser != nil {
 		valuesU = newValueAcc(*p.ValuesUser)
+		vaccs = append(vaccs, valuesU)
 	}
 	var scatter *scatterAcc
 	if p.Scatter != nil {
@@ -85,35 +199,157 @@ func (p Pipeline) Run(tr *trace.Buffer) *Report {
 		origins = newOriginAcc(p.OriginMinSets)
 	}
 
-	for _, tl := range ls {
-		tl := tl
-		// Chains and class are computed at most once per timer, on demand.
-		var chains []Chain
-		chainsDone := false
-		getChains := func() []Chain {
-			if !chainsDone {
-				chains, chainsDone = CountdownChains(tl), true
-			}
-			return chains
-		}
-		class := Classify(tl)
+	byID := make(map[uint64]*streamTimer)
+	order := make([]*streamTimer, 0, 64)
+	type cluster struct {
+		origin uint32
+		pid    int32
+	}
+	clusters := make(map[cluster]bool)
+	openCount := 0
 
-		rep.Shares.observe(tl, class)
-		values.observe(tl, getChains)
-		if valuesF != nil {
-			valuesF.observe(tl, getChains)
+	// resolve folds one use whose chain membership is now known into the
+	// value histograms: collapsed accumulators take chain starts and
+	// non-members, plain ones take every use.
+	resolve := func(t *streamTimer, u Use, member, chainStart bool) {
+		for _, a := range vaccs {
+			if a.opts.excludedAttrs(t.user, t.originName) {
+				continue
+			}
+			if a.opts.CollapseCountdowns && member && !chainStart {
+				continue
+			}
+			a.addAttrs(t.user, u.Timeout)
 		}
-		if valuesU != nil {
-			valuesU.observe(tl, getChains)
+	}
+
+	closeUse := func(t *streamTimer, endAt sim.Time, end EndKind, satisfied bool) {
+		u := t.openUse
+		u.EndAt, u.End, u.Satisfied = endAt, end, satisfied
+		t.open = false
+		t.closed++
+		if t.tvals == nil {
+			t.tvals = make(map[sim.Duration]int, 4)
 		}
-		if scatter != nil {
-			scatter.observe(tl)
+		t.tvals[u.Timeout]++
+		switch end {
+		case EndExpired:
+			t.expired++
+		case EndCanceled:
+			t.canceled++
+			if u.Timeout > 0 && u.Elapsed() < u.Timeout-JitterTolerance {
+				t.earlyCancels++
+			}
+		case EndReset:
+			t.reset++
+		}
+		if t.candImmediate {
+			t.immediate++
+		}
+		if scatter != nil && !scatter.vo.excludedAttrs(t.user, t.originName) {
+			scatter.addUse(u)
+		}
+		t.hasPrev, t.prevEnd, t.prevEndAt = true, end, endAt
+	}
+
+	err := src.ForEach(func(r trace.Record) {
+		t, ok := byID[r.TimerID]
+		if !ok {
+			t = &streamTimer{originName: src.OriginName(r.Origin)}
+			byID[r.TimerID] = t
+			order = append(order, t)
+		}
+		if r.Flags&trace.FlagUser != 0 {
+			t.user = true
+		}
+		if t.originName == "?" {
+			t.originName = src.OriginName(r.Origin)
+		}
+		sum.Accesses++
+		clusters[cluster{r.Origin, r.PID}] = true
+		if r.IsUser() {
+			sum.UserSpace++
+		} else {
+			sum.Kernel++
+		}
+		if r.T > rep.End {
+			rep.End = r.T
+		}
+		switch r.Op {
+		case trace.OpInit:
+			// Initialization only; no interval.
+		case trace.OpSet, trace.OpWait:
+			sum.Set++
+			if t.open {
+				closeUse(t, r.T, EndReset, false)
+			} else {
+				openCount++
+				if openCount > sum.Concurrency {
+					sum.Concurrency = openCount
+				}
+			}
+			u := Use{
+				SetAt:   r.T,
+				Timeout: sim.Duration(r.Timeout),
+				End:     EndDangling,
+				IsWait:  r.Op == trace.OpWait,
+			}
+			t.candImmediate = t.hasPrev && t.prevEnd == EndExpired &&
+				r.T.Sub(t.prevEndAt) <= JitterTolerance
+			if t.hasPend {
+				step := isCountdownStep(t.pend, u)
+				resolve(t, t.pend, t.fromPrev || step, step && !t.fromPrev)
+				t.fromPrev = step
+			} else {
+				t.fromPrev = false
+			}
+			t.pend, t.hasPend = u, true
+			if series != nil && processOf(t.originName) == series.process {
+				t.pts = append(t.pts, SeriesPoint{T: u.SetAt, V: u.Timeout})
+			}
+			if origins != nil {
+				origins.observeUse(t.originName, t.user, u.Timeout)
+			}
+			t.hasUse = true
+			t.open = true
+			t.openUse = u
+		case trace.OpCancel:
+			sum.Canceled++
+			if t.open {
+				closeUse(t, r.T, EndCanceled, r.Flags&trace.FlagSatisfied != 0)
+				openCount--
+			}
+		case trace.OpExpire:
+			sum.Expired++
+			if t.open {
+				closeUse(t, r.T, EndExpired, false)
+				openCount--
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sum.Timers = len(order)
+	sum.ClusteredTimers = len(clusters)
+
+	for _, t := range order {
+		if t.hasPend {
+			// The last use has no successor: a chain member only if the
+			// step from its predecessor held.
+			resolve(t, t.pend, t.fromPrev, false)
+		}
+		if t.hasUse {
+			class := t.classify()
+			rep.Shares.Counts[class]++
+			rep.Shares.Total++
+			if origins != nil {
+				origins.observeTimer(t.originName, class)
+			}
 		}
 		if series != nil {
-			series.observe(tl)
-		}
-		if origins != nil {
-			origins.observe(tl, class)
+			series.pts = append(series.pts, t.pts...)
 		}
 	}
 
@@ -133,5 +369,5 @@ func (p Pipeline) Run(tr *trace.Buffer) *Report {
 	if origins != nil {
 		rep.Origins = origins.finish()
 	}
-	return rep
+	return rep, nil
 }

@@ -66,7 +66,7 @@ func TestPipelineMatchesIndependentPasses(t *testing.T) {
 	sOpts := DefaultScatterOptions()
 	sOpts.ExcludeProcesses = []string{"Xorg", "icewm"}
 
-	rep := Pipeline{
+	rep, err := Pipeline{
 		Values:         vPlain,
 		ValuesFiltered: &vFilt,
 		ValuesUser:     &vUser,
@@ -74,6 +74,9 @@ func TestPipelineMatchesIndependentPasses(t *testing.T) {
 		SeriesProcess:  "Xorg",
 		OriginMinSets:  10,
 	}.Run(tr)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 
 	ls := Lifecycles(tr)
 	if got, want := rep.Summary, Summarize(tr); got != want {
@@ -106,7 +109,10 @@ func TestPipelineMatchesIndependentPasses(t *testing.T) {
 // TestPipelineSkipsUnrequestedArtifacts checks the nil/zero options leave
 // their report fields empty.
 func TestPipelineSkipsUnrequestedArtifacts(t *testing.T) {
-	rep := Pipeline{Values: ValueOptions{MinSharePercent: 2}}.Run(richTrace())
+	rep, err := Pipeline{Values: ValueOptions{MinSharePercent: 2}}.Run(richTrace())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if rep.ValuesFiltered != nil || rep.ValuesUser != nil || rep.Scatter != nil ||
 		rep.Series != nil || rep.Origins != nil {
 		t.Fatalf("unrequested artifacts computed: %+v", rep)

@@ -20,24 +20,25 @@ type RateSeries struct {
 type Grouper func(r trace.Record, origin string) string
 
 // SetRates buckets set operations into one-second bins per group, over
-// [0, duration).
-func SetRates(tr *trace.Buffer, duration sim.Duration, group Grouper) []RateSeries {
+// [0, duration), in one streaming pass. For a fallible file-backed Source
+// the rates cover the records read before any error.
+func SetRates(src trace.Source, duration sim.Duration, group Grouper) []RateSeries {
 	buckets := int(duration / sim.Second)
 	if buckets <= 0 {
 		return nil
 	}
 	series := make(map[string][]int)
-	for _, r := range tr.Records() {
+	_ = src.ForEach(func(r trace.Record) {
 		if r.Op != trace.OpSet && r.Op != trace.OpWait {
-			continue
+			return
 		}
-		g := group(r, tr.OriginName(r.Origin))
+		g := group(r, src.OriginName(r.Origin))
 		if g == "" {
-			continue
+			return
 		}
 		sec := int(r.T / sim.Time(sim.Second))
 		if sec < 0 || sec >= buckets {
-			continue
+			return
 		}
 		s, ok := series[g]
 		if !ok {
@@ -45,7 +46,7 @@ func SetRates(tr *trace.Buffer, duration sim.Duration, group Grouper) []RateSeri
 			series[g] = s
 		}
 		s[sec]++
-	}
+	})
 	names := make([]string, 0, len(series))
 	for n := range series {
 		names = append(names, n)

@@ -74,30 +74,36 @@ func (a *scatterAcc) observe(tl *TimerLife) {
 		return
 	}
 	for _, u := range tl.Uses {
-		ratio, ok := u.Ratio()
-		if !ok {
-			continue
+		a.addUse(u)
+	}
+}
+
+// addUse bins one completed use; the streaming pipeline calls it as uses
+// close (after applying the process exclusion itself).
+func (a *scatterAcc) addUse(u Use) {
+	ratio, ok := u.Ratio()
+	if !ok {
+		return
+	}
+	pct := ratio * 100
+	if pct > a.opts.CutoffPct {
+		return
+	}
+	lx := math.Log10(u.Timeout.Seconds())
+	xb := int(math.Floor(lx * float64(a.opts.LogBinsPerDecade)))
+	yb := int(math.Floor(pct / a.opts.RatioBinPct))
+	k := scatterKey{xb, yb}
+	p, okk := a.agg[k]
+	if !okk {
+		p = &ScatterPoint{
+			Timeout:  sim.DurationOfSeconds(math.Pow(10, float64(xb)/float64(a.opts.LogBinsPerDecade))),
+			RatioPct: float64(yb) * a.opts.RatioBinPct,
 		}
-		pct := ratio * 100
-		if pct > a.opts.CutoffPct {
-			continue
-		}
-		lx := math.Log10(u.Timeout.Seconds())
-		xb := int(math.Floor(lx * float64(a.opts.LogBinsPerDecade)))
-		yb := int(math.Floor(pct / a.opts.RatioBinPct))
-		k := scatterKey{xb, yb}
-		p, okk := a.agg[k]
-		if !okk {
-			p = &ScatterPoint{
-				Timeout:  sim.DurationOfSeconds(math.Pow(10, float64(xb)/float64(a.opts.LogBinsPerDecade))),
-				RatioPct: float64(yb) * a.opts.RatioBinPct,
-			}
-			a.agg[k] = p
-		}
-		p.Count++
-		if u.End == EndExpired {
-			p.Expired++
-		}
+		a.agg[k] = p
+	}
+	p.Count++
+	if u.End == EndExpired {
+		p.Expired++
 	}
 }
 

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// TestPipelineBoundedMemoryOverStream is the bounded-memory acceptance test
+// for the streaming architecture: a v2 trace file at least 4× larger than
+// the allowed allocation budget must analyse completely while allocating no
+// more than a quarter of its size — i.e. Pipeline.Run's footprint follows
+// the live-timer population, not the record count.
+func TestPipelineBoundedMemoryOverStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an ~80 MB trace file")
+	}
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+
+	// ~2M records over 512 timer identities and 64 origins: big on disk,
+	// tiny live state.
+	const (
+		nrec    = 2_000_000
+		ntimers = 512
+	)
+	path := filepath.Join(t.TempDir(), "big.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := trace.NewStreamWriter(f)
+	origins := make([]uint32, 64)
+	for i := range origins {
+		origins[i] = sw.Origin(fmt.Sprintf("kernel/gen-%d", i))
+	}
+	for i := 0; i < nrec; i += 2 {
+		id := uint64(i/2) % ntimers
+		o := origins[id%uint64(len(origins))]
+		ti := sim.Time(i) * sim.Time(sim.Millisecond)
+		sw.Log(trace.Record{T: ti, TimerID: id, Op: trace.OpSet,
+			Origin: o, Timeout: int64(10 * sim.Millisecond)})
+		sw.Log(trace.Record{T: ti + sim.Time(10*sim.Millisecond), TimerID: id,
+			Op: trace.OpExpire, Origin: o})
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileSize := fi.Size()
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	src, err := trace.NewStreamReader(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	rep, err := Pipeline{
+		Values: ValueOptions{JiffyBinKernel: true, MinSharePercent: 2},
+	}.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+
+	if got := rep.Summary.Accesses; got != nrec {
+		t.Fatalf("analysed %d accesses, want %d", got, nrec)
+	}
+	if rep.Summary.Timers != ntimers {
+		t.Fatalf("timers = %d, want %d", rep.Summary.Timers, ntimers)
+	}
+
+	delta := m1.TotalAlloc - m0.TotalAlloc
+	budget := uint64(fileSize) / 4
+	if fileSize < int64(4*budget) {
+		t.Fatalf("trace file only %d bytes; must be >=4x the allowed delta", fileSize)
+	}
+	if delta > budget {
+		t.Fatalf("Pipeline.Run allocated %d bytes over a %d-byte file (budget %d): streaming analysis is buffering the trace",
+			delta, fileSize, budget)
+	}
+	t.Logf("file %d bytes, allocated %d bytes (%.1f%% of file)", fileSize, delta, 100*float64(delta)/float64(fileSize))
+}

@@ -32,8 +32,10 @@ type Summary struct {
 // stream — no-op cancels and re-sets count as accesses, as the paper's
 // instrumentation counts calls — via the same single walk that reconstructs
 // lifecycles (buildLifecycles), so the summary and every lifecycle-derived
-// analysis agree by construction.
-func Summarize(tr *trace.Buffer) Summary {
-	_, s := buildLifecycles(tr)
+// analysis agree by construction. For a fallible file-backed Source the
+// summary covers the records read before any error; use Pipeline.Run when
+// errors must surface.
+func Summarize(src trace.Source) Summary {
+	_, s, _ := buildLifecycles(src)
 	return s
 }

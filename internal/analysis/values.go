@@ -50,10 +50,16 @@ func processOf(origin string) string {
 }
 
 func (o ValueOptions) excluded(tl *TimerLife) bool {
-	if o.UserOnly && !tl.User {
+	return o.excludedAttrs(tl.User, tl.Origin)
+}
+
+// excludedAttrs is the attribute-level form of excluded, shared with the
+// streaming pipeline (which folds uses before a full TimerLife exists).
+func (o ValueOptions) excludedAttrs(user bool, origin string) bool {
+	if o.UserOnly && !user {
 		return true
 	}
-	proc := processOf(tl.Origin)
+	proc := processOf(origin)
 	for _, p := range o.ExcludeProcesses {
 		if proc == p {
 			return true
@@ -63,10 +69,16 @@ func (o ValueOptions) excluded(tl *TimerLife) bool {
 }
 
 func (o ValueOptions) bin(tl *TimerLife, v sim.Duration) (sim.Duration, uint64) {
+	return o.binAttrs(tl.User, v)
+}
+
+// binAttrs is the attribute-level form of bin, shared with the streaming
+// pipeline.
+func (o ValueOptions) binAttrs(user bool, v sim.Duration) (sim.Duration, uint64) {
 	if v < 0 {
 		v = 0
 	}
-	if o.JiffyBinKernel && !tl.User {
+	if o.JiffyBinKernel && !user {
 		j := jiffies.MsecsToJiffies(v)
 		return sim.Duration(j) * jiffies.JiffyDuration, j
 	}
@@ -98,7 +110,13 @@ func newValueAcc(opts ValueOptions) *valueAcc {
 }
 
 func (a *valueAcc) add(tl *TimerLife, v sim.Duration) {
-	b, j := a.opts.bin(tl, v)
+	a.addAttrs(tl.User, v)
+}
+
+// addAttrs bins and counts one sample given the timer's attributes; the
+// streaming pipeline calls it as uses resolve.
+func (a *valueAcc) addAttrs(user bool, v sim.Duration) {
+	b, j := a.opts.binAttrs(user, v)
 	a.counts[valueKey{b, j}]++
 	a.total++
 }

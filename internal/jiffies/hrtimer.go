@@ -12,14 +12,14 @@ import (
 // of programming the LAPIC one-shot comparator.
 type HighRes struct {
 	eng    *sim.Engine
-	tr     *trace.Buffer
+	tr     trace.Sink
 	nextID uint64
 }
 
 // NewHighRes returns an hrtimer facility sharing the trace buffer with the
 // standard subsystem. hrtimer IDs are drawn from a separate space (top bit
 // set) so analyses can tell the facilities apart.
-func NewHighRes(eng *sim.Engine, tr *trace.Buffer) *HighRes {
+func NewHighRes(eng *sim.Engine, tr trace.Sink) *HighRes {
 	return &HighRes{eng: eng, tr: tr}
 }
 

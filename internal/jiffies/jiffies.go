@@ -98,7 +98,7 @@ func WithNoHZ(enabled bool) Option { return func(b *Base) { b.nohz = enabled } }
 // uniprocessor, like the paper's Linux testbed, so there is exactly one.
 type Base struct {
 	eng   *sim.Engine
-	tr    *trace.Buffer
+	tr    trace.Sink
 	wheel timerwheel.Queue
 	jiffy uint64 // jiffies counter: last processed tick
 	nohz  bool
@@ -121,7 +121,7 @@ type Base struct {
 // NewBase creates a timer base bound to the engine and trace buffer and
 // starts its tick. The buffer must not be nil (use a zero-capacity buffer to
 // discard records).
-func NewBase(eng *sim.Engine, tr *trace.Buffer, opts ...Option) *Base {
+func NewBase(eng *sim.Engine, tr trace.Sink, opts ...Option) *Base {
 	b := &Base{eng: eng, tr: tr, wheel: timerwheel.NewHierarchicalWheel()}
 	for _, o := range opts {
 		o(b)

@@ -31,7 +31,7 @@ import (
 // timer base and the hrtimer facility.
 type Linux struct {
 	eng     *sim.Engine
-	tr      *trace.Buffer
+	tr      trace.Sink
 	base    *jiffies.Base
 	hr      *jiffies.HighRes
 	nextPID int32
@@ -40,7 +40,7 @@ type Linux struct {
 
 // NewLinux boots a simulated Linux system. Base options (dynticks, wheel
 // choice) pass through to the jiffies base.
-func NewLinux(eng *sim.Engine, tr *trace.Buffer, opts ...jiffies.Option) *Linux {
+func NewLinux(eng *sim.Engine, tr trace.Sink, opts ...jiffies.Option) *Linux {
 	return &Linux{
 		eng:  eng,
 		tr:   tr,
@@ -53,7 +53,7 @@ func NewLinux(eng *sim.Engine, tr *trace.Buffer, opts ...jiffies.Option) *Linux 
 func (l *Linux) Engine() *sim.Engine { return l.eng }
 
 // Trace returns the trace buffer.
-func (l *Linux) Trace() *trace.Buffer { return l.tr }
+func (l *Linux) Trace() trace.Sink { return l.tr }
 
 // Base returns the standard timer base (for kernel subsystems).
 func (l *Linux) Base() *jiffies.Base { return l.base }

@@ -72,7 +72,7 @@ func (t *KTimer) SetDPC(fn func()) { t.dpc = fn }
 // in NT), the DPC queue, and the clock interrupt.
 type Kernel struct {
 	eng    *sim.Engine
-	tr     *trace.Buffer
+	tr     trace.Sink
 	table  timerwheel.Queue
 	nextID uint64
 	dpcs   []func()
@@ -103,7 +103,7 @@ func WithDynamicTick(enabled bool) KernelOption {
 }
 
 // NewKernel builds the timer machinery and starts the clock interrupt.
-func NewKernel(eng *sim.Engine, tr *trace.Buffer, opts ...KernelOption) *Kernel {
+func NewKernel(eng *sim.Engine, tr trace.Sink, opts ...KernelOption) *Kernel {
 	k := &Kernel{eng: eng, tr: tr, table: timerwheel.NewHashedWheel(256)}
 	for _, o := range opts {
 		o(k)
@@ -159,7 +159,7 @@ func (k *Kernel) Now() sim.Time { return k.eng.Now() }
 func (k *Kernel) Engine() *sim.Engine { return k.eng }
 
 // Trace exposes the trace buffer for the upper layers.
-func (k *Kernel) Trace() *trace.Buffer { return k.tr }
+func (k *Kernel) Trace() trace.Sink { return k.tr }
 
 // NewTimer allocates a KTIMER with its attribution. Most Vista code paths
 // allocate these on the fly; allocating is free of trace records (the paper

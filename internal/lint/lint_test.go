@@ -24,6 +24,7 @@ var fixtures = []struct {
 	{"wallclock", "timerstudy/internal/lintfixture/wall"},
 	{"uncheckedcancel", "timerstudy/internal/lintfixture/cancel"},
 	{"exactspec", "timerstudy/internal/lintfixture/exact"},
+	{"rawsink", "timerstudy/internal/lintfixture/rawsink"},
 }
 
 // wantRe matches expectation comments:

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// rawSinkExempt is the one package allowed to traffic in *trace.Buffer in
+// its exported API: the trace package itself, where Buffer is defined and
+// is one implementation of Sink/Source among several.
+const rawSinkExempt = "timerstudy/internal/trace"
+
+// RawSink forbids *trace.Buffer in exported signatures outside
+// internal/trace: an exported function that demands the concrete in-memory
+// buffer cannot consume a spilled v2 stream or feed an external sink, which
+// silently re-couples the caller to O(records) memory. Write sides must
+// accept trace.Sink, read sides trace.Source; Buffer satisfies both, so
+// widening a signature never breaks an in-memory caller.
+var RawSink = &Analyzer{
+	Name: "rawsink",
+	Doc: "exported functions outside internal/trace must accept trace.Sink or " +
+		"trace.Source, not the concrete *trace.Buffer",
+	Run: runRawSink,
+}
+
+func runRawSink(pass *Pass) {
+	if pass.Pkg.Path == rawSinkExempt || !strings.HasPrefix(pass.Pkg.Path, "timerstudy/") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || fd.Type.Params == nil {
+				continue
+			}
+			// Methods on unexported receivers are not part of the API.
+			if fd.Recv != nil && !exportedRecv(fd.Recv) {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				if !isTraceBufferPtr(pass.TypeOf(field.Type)) {
+					continue
+				}
+				kind := "trace.Sink (write side) or trace.Source (read side)"
+				pass.Reportf(field.Type.Pos(),
+					"exported %s takes *trace.Buffer; accept %s so callers can stream instead of buffering",
+					fd.Name.Name, kind)
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// isTraceBufferPtr reports whether t is *trace.Buffer (from internal/trace).
+func isTraceBufferPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Buffer" && obj.Pkg() != nil && obj.Pkg().Path() == rawSinkExempt
+}

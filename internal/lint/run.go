@@ -9,7 +9,7 @@ import (
 
 // Analyzers returns the full analyzer suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MagicTimeout, WallClock, UncheckedCancel, ExactSpec}
+	return []*Analyzer{MagicTimeout, WallClock, UncheckedCancel, ExactSpec, RawSink}
 }
 
 // Run applies the analyzers to the packages, filters suppressed findings,

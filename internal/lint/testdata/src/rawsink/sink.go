@@ -1,0 +1,35 @@
+// Package rawsink exercises the rawsink analyzer: exported signatures
+// outside internal/trace must take the Sink/Source seam, not the concrete
+// in-memory buffer.
+package rawsink
+
+import "timerstudy/internal/trace"
+
+// RunInto streams into the abstract sink: clean.
+func RunInto(s trace.Sink) { _ = s }
+
+// Analyze consumes the abstract source: clean.
+func Analyze(src trace.Source) error { return src.ForEach(func(trace.Record) {}) }
+
+// Fill demands the concrete buffer on its write side.
+func Fill(tr *trace.Buffer) { _ = tr } // want:rawsink "exported Fill takes *trace.Buffer"
+
+// Reduce demands the concrete buffer on its read side.
+func Reduce(n int, tr *trace.Buffer) int { return n + tr.Len() } // want:rawsink "accept trace.Sink (write side) or trace.Source (read side)"
+
+// System is an exported type; its exported methods are API surface.
+type System struct{}
+
+// Attach on an exported receiver must use the seam.
+func (System) Attach(tr *trace.Buffer) { _ = tr } // want:rawsink "exported Attach takes *trace.Buffer"
+
+type internalSystem struct{}
+
+// attach is unexported: not API, clean.
+func (internalSystem) attach(tr *trace.Buffer) { _ = tr }
+
+// Wire is exported but its receiver type is not: not reachable API, clean.
+func (internalSystem) Wire(tr *trace.Buffer) { _ = tr }
+
+// fill is unexported: internal plumbing may hold the concrete type.
+func fill(tr *trace.Buffer) { tr.Log(trace.Record{}) }

@@ -1,6 +1,9 @@
 package trace
 
-import "testing"
+import (
+	"io"
+	"testing"
+)
 
 // TestLogZeroAlloc guards the two steady states of the Log hot path: while
 // the buffer is within its preallocated storage, and once it is at capacity
@@ -71,4 +74,31 @@ func BenchmarkLog(b *testing.B) {
 			buf.Log(rec)
 		}
 	})
+}
+
+// TestStreamWriterLogZeroAlloc guards the spill hot path: once origins are
+// interned, Log must be allocation-free both within a chunk and across chunk
+// flushes (putRecord goes through the writer's scratch buffer; the frames
+// land in the bufio buffer or the underlying writer without per-record
+// allocation). Run without -race in CI, like the other alloc guards.
+func TestStreamWriterLogZeroAlloc(t *testing.T) {
+	rec := Record{T: 1, Op: OpSet, TimerID: 7, Timeout: 42, Origin: 1}
+
+	within := NewStreamWriter(io.Discard) // default chunk far exceeds the run count
+	within.Origin("kernel/x")
+	if allocs := testing.AllocsPerRun(1000, func() { within.Log(rec) }); allocs != 0 {
+		t.Errorf("Log within a chunk allocates %.1f objects/op, want 0", allocs)
+	}
+
+	flushing := NewStreamWriterSize(io.Discard, 64) // ~15 flushes over the run
+	flushing.Origin("kernel/x")
+	if allocs := testing.AllocsPerRun(1000, func() { flushing.Log(rec) }); allocs != 0 {
+		t.Errorf("Log across chunk flushes allocates %.1f objects/op, want 0", allocs)
+	}
+	if err := flushing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c := flushing.Counters(); c.Dropped != 0 || c.Total == 0 {
+		t.Fatalf("counters %+v: StreamWriter must never drop", c)
+	}
 }

@@ -87,24 +87,47 @@ func (b *Buffer) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Decode reads a binary trace written by Encode into a fresh Buffer whose
-// capacity equals the stored record count.
+// maxReasonable bounds header-declared counts (records, origins) so a
+// corrupt header cannot drive huge allocations.
+const maxReasonable = 1 << 28
+
+// readMagicVersion consumes and validates the 8-byte magic+version prefix
+// shared by every format version and returns the version.
+func readMagicVersion(br *bufio.Reader) (uint32, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[0:4]) != magic {
+		return 0, fmt.Errorf("trace: bad magic %q", hdr[0:4])
+	}
+	return binary.LittleEndian.Uint32(hdr[4:]), nil
+}
+
+// Decode reads a v1 binary trace written by Encode into a fresh Buffer whose
+// capacity equals the stored record count. Use Open to accept either format
+// version.
 func Decode(r io.Reader) (*Buffer, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	var hdr [20]byte
+	v, err := readMagicVersion(br)
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return decodeV1(br)
+}
+
+// decodeV1 reads the remainder of a v1 trace after the magic+version prefix.
+func decodeV1(br *bufio.Reader) (*Buffer, error) {
+	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if string(hdr[0:4]) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", hdr[0:4])
-	}
 	le := binary.LittleEndian
-	if v := le.Uint32(hdr[4:]); v != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
-	}
-	nrec := le.Uint64(hdr[8:])
-	norig := le.Uint32(hdr[16:])
-	const maxReasonable = 1 << 28
+	nrec := le.Uint64(hdr[0:])
+	norig := le.Uint32(hdr[8:])
 	if nrec > maxReasonable || norig > maxReasonable {
 		return nil, fmt.Errorf("trace: implausible header (records=%d origins=%d)", nrec, norig)
 	}

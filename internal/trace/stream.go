@@ -1,0 +1,341 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Chunked v2 stream format. Unlike v1, nothing in the file depends on
+// totals known only at the end of a run, so a StreamWriter spills records
+// to disk while the simulation is still producing them and a StreamReader
+// replays files larger than RAM:
+//
+//	header: magic "TSTR" | version u32 = 2
+//	frames, repeated:
+//	  'O' | u32 count | count × (u32 len | UTF-8 bytes)
+//	      appends origins to the string table; origin 0 ("?") is implicit
+//	      and never transmitted. A record chunk only references origins
+//	      appended by earlier frames.
+//	  'R' | u32 count | count × RecordSize bytes
+//	      one chunk of records, same 40-byte layout as v1.
+//	  'C' | ByOp[nOps] u64 | Total u64 | Dropped u64
+//	      the counters footer; exactly once, last. A stream without it is
+//	      truncated, bytes after it are garbage — both decode errors.
+//
+// The writer interns origins with the same first-seen ID assignment as
+// Buffer, so a run traced through a StreamWriter produces byte-identical
+// records to one traced through a Buffer.
+
+const (
+	version2 = 2
+
+	frameOrigins  = 'O'
+	frameRecords  = 'R'
+	frameCounters = 'C'
+
+	// DefaultChunkRecords is the StreamWriter's record-chunk size (~64 Ki
+	// records, 2.5 MiB of payload per frame).
+	DefaultChunkRecords = 1 << 16
+
+	// countersSize is the byte size of the 'C' footer payload.
+	countersSize = (int(nOps) + 2) * 8
+)
+
+// StreamWriter is a Sink that encodes records into the chunked v2 format as
+// they arrive, spilling to w instead of holding the trace in memory. Log
+// never drops records and is allocation-free outside origin interning and
+// amortized chunk flushes. Errors on the underlying writer are sticky:
+// check Err (or the Close result) after the run.
+type StreamWriter struct {
+	w        *bufio.Writer
+	err      error
+	closed   bool
+	origins  []string
+	originID map[string]uint32
+	sent     int // origins already emitted in 'O' frames (origin 0 implicit)
+	chunk    []Record
+	counters Counters
+	scratch  [RecordSize]byte
+}
+
+// NewStreamWriter returns a v2 stream writer with the default chunk size.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return NewStreamWriterSize(w, DefaultChunkRecords)
+}
+
+// NewStreamWriterSize returns a v2 stream writer flushing record chunks of
+// chunkRecords records (values < 1 mean the default). The header is written
+// immediately.
+func NewStreamWriterSize(w io.Writer, chunkRecords int) *StreamWriter {
+	if chunkRecords < 1 {
+		chunkRecords = DefaultChunkRecords
+	}
+	s := &StreamWriter{
+		w:        bufio.NewWriterSize(w, 1<<16),
+		originID: make(map[string]uint32),
+		origins:  []string{"?"},
+		sent:     1,
+		chunk:    make([]Record, 0, chunkRecords),
+	}
+	var hdr [8]byte
+	copy(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version2)
+	_, err := s.w.Write(hdr[:])
+	s.setErr(err)
+	return s
+}
+
+func (s *StreamWriter) setErr(err error) {
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+}
+
+// Origin interns an origin label with the same ID assignment as
+// Buffer.Origin. New labels are transmitted in an 'O' frame before the next
+// record chunk.
+func (s *StreamWriter) Origin(name string) uint32 {
+	if id, ok := s.originID[name]; ok {
+		return id
+	}
+	id := uint32(len(s.origins))
+	s.origins = append(s.origins, name)
+	s.originID[name] = id
+	return id
+}
+
+// Log appends one record to the current chunk, flushing the chunk to the
+// underlying writer when full. StreamWriter never drops records.
+func (s *StreamWriter) Log(r Record) {
+	if int(r.Op) < int(nOps) {
+		s.counters.ByOp[r.Op]++
+	}
+	s.counters.Total++
+	s.chunk = append(s.chunk, r)
+	if len(s.chunk) == cap(s.chunk) {
+		s.flushChunk()
+	}
+}
+
+// flushChunk emits pending origins and the buffered records as frames.
+func (s *StreamWriter) flushChunk() {
+	if len(s.chunk) == 0 || s.err != nil {
+		s.chunk = s.chunk[:0]
+		return
+	}
+	if s.sent < len(s.origins) {
+		s.frameHeader(frameOrigins, uint32(len(s.origins)-s.sent))
+		for _, name := range s.origins[s.sent:] {
+			binary.LittleEndian.PutUint32(s.scratch[:4], uint32(len(name)))
+			s.write(s.scratch[:4])
+			_, err := s.w.WriteString(name)
+			s.setErr(err)
+		}
+		s.sent = len(s.origins)
+	}
+	s.frameHeader(frameRecords, uint32(len(s.chunk)))
+	for _, r := range s.chunk {
+		putRecord(s.scratch[:], r)
+		s.write(s.scratch[:])
+	}
+	s.chunk = s.chunk[:0]
+}
+
+func (s *StreamWriter) frameHeader(kind byte, count uint32) {
+	s.setErr(s.w.WriteByte(kind))
+	binary.LittleEndian.PutUint32(s.scratch[:4], count)
+	s.write(s.scratch[:4])
+}
+
+func (s *StreamWriter) write(p []byte) {
+	_, err := s.w.Write(p)
+	s.setErr(err)
+}
+
+// Flush writes any buffered partial chunk and flushes the underlying
+// writer. The stream remains open for more records.
+func (s *StreamWriter) Flush() error {
+	s.flushChunk()
+	s.setErr(s.w.Flush())
+	return s.err
+}
+
+// Close flushes buffered records, writes the counters footer and flushes
+// the underlying writer (it does not close it). Further Close calls return
+// the sticky error without writing anything.
+func (s *StreamWriter) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	s.flushChunk()
+	if s.err == nil {
+		s.setErr(s.w.WriteByte(frameCounters))
+		var buf [countersSize]byte
+		le := binary.LittleEndian
+		for i, n := range s.counters.ByOp {
+			le.PutUint64(buf[i*8:], n)
+		}
+		le.PutUint64(buf[nOps*8:], s.counters.Total)
+		le.PutUint64(buf[(nOps+1)*8:], s.counters.Dropped)
+		s.write(buf[:])
+	}
+	s.setErr(s.w.Flush())
+	return s.err
+}
+
+// Err returns the first error seen on the underlying writer.
+func (s *StreamWriter) Err() error { return s.err }
+
+// Counters returns a copy of the operation tallies so far.
+func (s *StreamWriter) Counters() Counters { return s.counters }
+
+// StreamReader is a single-use Source replaying a v2 stream. It holds one
+// chunk's worth of bytes plus the origin table — never the whole trace —
+// so files larger than RAM decode in constant memory. Reopen the underlying
+// file for a second pass.
+type StreamReader struct {
+	br       *bufio.Reader
+	origins  []string
+	counters Counters
+	footer   bool
+	consumed bool
+}
+
+// NewStreamReader validates the v2 header of r and returns a reader for the
+// stream. Use Open to auto-detect the format version instead.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	v, err := readMagicVersion(br)
+	if err != nil {
+		return nil, err
+	}
+	if v != version2 {
+		return nil, fmt.Errorf("trace: not a v2 stream (version %d)", v)
+	}
+	return newStreamReader(br), nil
+}
+
+func newStreamReader(br *bufio.Reader) *StreamReader {
+	return &StreamReader{br: br, origins: []string{"?"}}
+}
+
+// ForEach decodes the stream, calling fn for every record in order. It
+// validates framing as it goes: a record referencing an origin the string
+// table does not (yet) contain, a missing counters footer, or bytes after
+// the footer are all errors, never panics. ForEach may be called once.
+func (s *StreamReader) ForEach(fn func(Record)) error {
+	if s.consumed {
+		return fmt.Errorf("trace: stream already consumed; reopen the file for a second pass")
+	}
+	s.consumed = true
+	var buf [RecordSize]byte
+	le := binary.LittleEndian
+	for {
+		kind, err := s.br.ReadByte()
+		if err == io.EOF {
+			return fmt.Errorf("trace: stream truncated: missing counters footer")
+		}
+		if err != nil {
+			return fmt.Errorf("trace: reading frame: %w", err)
+		}
+		switch kind {
+		case frameOrigins:
+			if _, err := io.ReadFull(s.br, buf[:4]); err != nil {
+				return fmt.Errorf("trace: reading origin frame: %w", err)
+			}
+			count := le.Uint32(buf[:4])
+			if uint64(len(s.origins))+uint64(count) > maxReasonable {
+				return fmt.Errorf("trace: implausible origin table (%d entries)", uint64(len(s.origins))+uint64(count))
+			}
+			for i := uint32(0); i < count; i++ {
+				if _, err := io.ReadFull(s.br, buf[:4]); err != nil {
+					return fmt.Errorf("trace: reading origin length: %w", err)
+				}
+				n := le.Uint32(buf[:4])
+				if n > 1<<16 {
+					return fmt.Errorf("trace: origin %d implausibly long (%d)", len(s.origins), n)
+				}
+				name := make([]byte, n)
+				if _, err := io.ReadFull(s.br, name); err != nil {
+					return fmt.Errorf("trace: reading origin %d: %w", len(s.origins), err)
+				}
+				s.origins = append(s.origins, string(name))
+			}
+		case frameRecords:
+			if _, err := io.ReadFull(s.br, buf[:4]); err != nil {
+				return fmt.Errorf("trace: reading record chunk header: %w", err)
+			}
+			count := le.Uint32(buf[:4])
+			if count > maxReasonable {
+				return fmt.Errorf("trace: implausible record chunk (%d records)", count)
+			}
+			for i := uint32(0); i < count; i++ {
+				if _, err := io.ReadFull(s.br, buf[:]); err != nil {
+					return fmt.Errorf("trace: reading record: %w", err)
+				}
+				r := getRecord(buf[:])
+				if int(r.Origin) >= len(s.origins) {
+					return fmt.Errorf("trace: record origin %d out of range (table has %d)", r.Origin, len(s.origins))
+				}
+				fn(r)
+			}
+		case frameCounters:
+			var foot [countersSize]byte
+			if _, err := io.ReadFull(s.br, foot[:]); err != nil {
+				return fmt.Errorf("trace: reading counters footer: %w", err)
+			}
+			for i := range s.counters.ByOp {
+				s.counters.ByOp[i] = le.Uint64(foot[i*8:])
+			}
+			s.counters.Total = le.Uint64(foot[nOps*8:])
+			s.counters.Dropped = le.Uint64(foot[(nOps+1)*8:])
+			s.footer = true
+			if _, err := s.br.ReadByte(); err == nil {
+				return fmt.Errorf("trace: trailing garbage after counters footer")
+			} else if err != io.EOF {
+				return fmt.Errorf("trace: reading stream end: %w", err)
+			}
+			return nil
+		default:
+			return fmt.Errorf("trace: unknown frame type %q", kind)
+		}
+	}
+}
+
+// OriginName resolves an origin ID against the string table read so far;
+// unknown IDs resolve to "?". During ForEach the table is complete for
+// every record already delivered.
+func (s *StreamReader) OriginName(id uint32) string {
+	if int(id) < len(s.origins) {
+		return s.origins[id]
+	}
+	return s.origins[0]
+}
+
+// Counters returns the footer tallies; ok is false until ForEach has
+// consumed the stream through the footer.
+func (s *StreamReader) Counters() (c Counters, ok bool) {
+	return s.counters, s.footer
+}
+
+// Open auto-detects the trace format version of r and returns a Source:
+// a fully decoded Buffer for v1 files, a constant-memory StreamReader for
+// v2 streams.
+func Open(r io.Reader) (Source, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	v, err := readMagicVersion(br)
+	if err != nil {
+		return nil, err
+	}
+	switch v {
+	case version:
+		return decodeV1(br)
+	case version2:
+		return newStreamReader(br), nil
+	default:
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+}

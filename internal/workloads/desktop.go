@@ -104,8 +104,9 @@ func VistaDesktop(cfg Config) *Result {
 }
 
 // DesktopGrouper maps trace records to the Figure 1 lines: Outlook, the
-// browser, other system processes, and the kernel.
-func DesktopGrouper(tr *trace.Buffer) analysis.Grouper {
+// browser, other system processes, and the kernel. The grouping needs only
+// the record and its resolved origin, so it works over any trace.Source.
+func DesktopGrouper() analysis.Grouper {
 	return func(r trace.Record, origin string) string {
 		switch {
 		case strings.HasPrefix(origin, "outlook.exe"):

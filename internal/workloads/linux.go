@@ -17,7 +17,8 @@ import (
 type linuxSystem struct {
 	cfg   Config
 	eng   *sim.Engine
-	tr    *trace.Buffer
+	sink  trace.Sink
+	tr    *trace.Buffer // nil when cfg.Sink streams the records away
 	l     *kernel.Linux
 	net   *netsim.Network
 	stack *netsim.Stack
@@ -32,9 +33,9 @@ type linuxSystem struct {
 
 func newLinuxSystem(cfg Config) *linuxSystem {
 	eng := cfg.newEngine()
-	tr := trace.NewBuffer(cfg.traceCap())
-	l := kernel.NewLinux(eng, tr)
-	sys := &linuxSystem{cfg: cfg, eng: eng, tr: tr, l: l, rng: eng.Rand()}
+	sink, buf := cfg.traceSink()
+	l := kernel.NewLinux(eng, sink)
+	sys := &linuxSystem{cfg: cfg, eng: eng, sink: sink, tr: buf, l: l, rng: eng.Rand()}
 	sys.net = netsim.NewNetwork(eng)
 	sys.stack = netsim.NewStack(sys.net, "testbox", &netsim.LinuxFacility{Base: l.Base()})
 	sys.stack.KeepaliveEnabled = true
@@ -226,7 +227,7 @@ func (s *linuxSystem) startX(xActivityMean sim.Duration) {
 func (s *linuxSystem) finish(name string) *Result {
 	s.eng.Run(sim.Time(s.cfg.Duration))
 	return &Result{
-		Name: name, OS: "linux", Trace: s.tr,
+		Name: name, OS: "linux", Trace: s.tr, Counters: sinkCounters(s.sink),
 		Duration: s.cfg.Duration, Stats: s.eng.Stats(),
 	}
 }

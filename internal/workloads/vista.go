@@ -17,7 +17,8 @@ import (
 type vistaSystem struct {
 	cfg   Config
 	eng   *sim.Engine
-	tr    *trace.Buffer
+	sink  trace.Sink
+	tr    *trace.Buffer // nil when cfg.Sink streams the records away
 	k     *ktimer.Kernel
 	net   *netsim.Network
 	stack *netsim.Stack
@@ -28,8 +29,8 @@ type vistaSystem struct {
 
 func newVistaSystem(cfg Config) *vistaSystem {
 	eng := cfg.newEngine()
-	tr := trace.NewBuffer(cfg.traceCap())
-	sys := &vistaSystem{cfg: cfg, eng: eng, tr: tr, k: ktimer.NewKernel(eng, tr), rng: eng.Rand(), nextPID: 3}
+	sink, buf := cfg.traceSink()
+	sys := &vistaSystem{cfg: cfg, eng: eng, sink: sink, tr: buf, k: ktimer.NewKernel(eng, sink), rng: eng.Rand(), nextPID: 3}
 	sys.net = netsim.NewNetwork(eng)
 	sys.stack = netsim.NewStack(sys.net, "vistabox", &netsim.VistaFacility{Kernel: sys.k})
 	sys.bootServices()
@@ -208,7 +209,7 @@ func (s *vistaSystem) bootLAN() {
 func (s *vistaSystem) finish(name string) *Result {
 	s.eng.Run(sim.Time(s.cfg.Duration))
 	return &Result{
-		Name: name, OS: "vista", Trace: s.tr,
+		Name: name, OS: "vista", Trace: s.tr, Counters: sinkCounters(s.sink),
 		Duration: s.cfg.Duration, Stats: s.eng.Stats(),
 	}
 }

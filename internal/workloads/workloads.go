@@ -29,6 +29,12 @@ type Config struct {
 	// sim.QueueHeap). Traces are byte-identical across kinds; the choice
 	// only affects run time.
 	Queue sim.QueueKind
+	// Sink, if non-nil, receives the trace records instead of an in-memory
+	// buffer — e.g. a trace.StreamWriter spilling to disk during the run.
+	// Result.Trace is then nil (the records were never stored); TraceCap is
+	// ignored. Record bytes are identical either way: sinks intern origins
+	// with the same ID assignment.
+	Sink trace.Sink
 }
 
 // newEngine builds the workload's engine from the config.
@@ -48,14 +54,39 @@ func (c Config) traceCap() int {
 	return trace.DefaultCapacity
 }
 
+// traceSink resolves the destination for the run's records: the configured
+// external sink, or a fresh in-memory buffer. buf is nil exactly when the
+// records are going elsewhere (Result.Trace will be nil too).
+func (c Config) traceSink() (sink trace.Sink, buf *trace.Buffer) {
+	if c.Sink != nil {
+		return c.Sink, nil
+	}
+	buf = trace.NewBuffer(c.traceCap())
+	return buf, buf
+}
+
+// sinkCounters reads the operation counters off a sink when it keeps them
+// (Buffer and StreamWriter both do).
+func sinkCounters(s trace.Sink) trace.Counters {
+	if c, ok := s.(interface{ Counters() trace.Counters }); ok {
+		return c.Counters()
+	}
+	return trace.Counters{}
+}
+
 // Result is a completed workload run.
 type Result struct {
 	// Name identifies the workload ("idle", "firefox", ...).
 	Name string
 	// OS is "linux" or "vista".
 	OS string
-	// Trace holds the recorded operations.
+	// Trace holds the recorded operations. It is nil when the run streamed
+	// its records to an external Config.Sink; use Counters for the totals
+	// and replay the sink's output for analysis.
 	Trace *trace.Buffer
+	// Counters are the sink-side operation totals, valid whether the records
+	// were buffered or streamed away.
+	Counters trace.Counters
 	// Duration is the traced virtual time.
 	Duration sim.Duration
 	// Stats carries engine-level wakeup/idle accounting.

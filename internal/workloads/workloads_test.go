@@ -228,7 +228,7 @@ func TestLinuxFirefoxShortTimerScatter(t *testing.T) {
 
 func TestVistaDesktopFigure1Shapes(t *testing.T) {
 	res := VistaDesktop(Config{Seed: 7, Duration: 90 * sim.Second})
-	rates := analysis.SetRates(res.Trace, res.Duration, DesktopGrouper(res.Trace))
+	rates := analysis.SetRates(res.Trace, res.Duration, DesktopGrouper())
 	byName := map[string]analysis.RateSeries{}
 	for _, s := range rates {
 		byName[s.Group] = s
@@ -358,6 +358,53 @@ func TestTraceCapDropsGracefully(t *testing.T) {
 	}
 	if c.Total != uint64(res.Trace.Len())+c.Dropped {
 		t.Fatalf("counters inconsistent: %+v", c)
+	}
+	if res.Counters != c {
+		t.Fatalf("Result.Counters %+v != buffer counters %+v", res.Counters, c)
+	}
+}
+
+// TestExternalSinkMatchesBuffer checks the Config.Sink seam: streaming a run
+// through a StreamWriter must produce the exact record and origin stream the
+// in-memory buffer records, leave Result.Trace nil, and carry the counters.
+func TestExternalSinkMatchesBuffer(t *testing.T) {
+	cfg := Config{Seed: 1, Duration: 30 * sim.Second}
+	buffered := LinuxIdle(cfg)
+
+	var spill bytes.Buffer
+	sw := trace.NewStreamWriter(&spill)
+	cfg.Sink = sw
+	streamed := LinuxIdle(cfg)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Trace != nil {
+		t.Fatal("Result.Trace not nil with an external sink")
+	}
+	if streamed.Counters != buffered.Counters {
+		t.Fatalf("counters %+v != %+v", streamed.Counters, buffered.Counters)
+	}
+
+	sr, err := trace.NewStreamReader(bytes.NewReader(spill.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := buffered.Trace.Records()
+	i := 0
+	err = sr.ForEach(func(r trace.Record) {
+		if i < len(want) && r != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, r, want[i])
+		}
+		if gn, wn := sr.OriginName(r.Origin), buffered.Trace.OriginName(r.Origin); gn != wn {
+			t.Fatalf("record %d origin: %q != %q", i, gn, wn)
+		}
+		i++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("streamed %d records, buffered %d", i, len(want))
 	}
 }
 

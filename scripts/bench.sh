@@ -6,9 +6,10 @@
 #   FULL=1 scripts/bench.sh                   # the paper's full 30-minute traces
 #
 # The report records wall-clock per evaluation trace (run + analyze),
-# records/sec of analysis throughput, per-table/figure render time, and the
-# fan-out speedup estimate for this host. See EXPERIMENTS.md for how to
-# read it.
+# records/sec of analysis throughput, per-table/figure render time, the
+# fan-out speedup estimate for this host, and v2 stream-codec throughput
+# (encode/decode MB/s and records/sec under "stream"). See EXPERIMENTS.md
+# for how to read it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

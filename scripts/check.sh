@@ -17,11 +17,20 @@ echo "== parallel determinism golden test =="
 go test -race -count=2 -run 'TestParallelMatchesSerial|TestRunAllDeterministicAcrossWorkers|TestQueueKindsByteIdenticalTraces' \
 	./cmd/experiments ./internal/workloads
 
+echo "== spill-vs-memory determinism golden test =="
+# The streaming trace path (v2 spill files) must render byte-identical
+# tables and figures to the in-memory path.
+go test -race -count=2 -run 'TestSpillMatchesMemory' ./cmd/experiments
+
 echo "== allocation regression (steady-state hot paths must be alloc-free) =="
 # Run WITHOUT -race: the race detector instruments allocations and would
 # make AllocsPerRun report false positives.
-go test -count=1 -run 'TestEngineZeroAllocSteadyState|TestEventAllocsPlateau|TestLogZeroAlloc' \
+go test -count=1 -run 'TestEngineZeroAllocSteadyState|TestEventAllocsPlateau|TestLogZeroAlloc|TestStreamWriterLogZeroAlloc' \
 	./internal/sim ./internal/trace
+
+echo "== codec fuzz smoke (10s per format) =="
+go test -run '^$' -fuzz 'FuzzDecode$' -fuzztime=10s ./internal/trace
+go test -run '^$' -fuzz 'FuzzDecodeV2$' -fuzztime=10s ./internal/trace
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime=1x ./...
