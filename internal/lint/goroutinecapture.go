@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// unsafeSharedTypes are module types that are documented single-threaded:
+// calling any method on a captured instance from a concurrent closure is a
+// data race unless the caller built its own synchronization seam.
+var unsafeSharedTypes = map[string]map[string]bool{
+	"timerstudy/internal/sim":      {"Engine": true},
+	"timerstudy/internal/trace":    {"Buffer": true, "StreamWriter": true},
+	"timerstudy/internal/analysis": {"Pipeline": true},
+}
+
+// workerParamNames mark an int parameter that sizes a worker pool; a func
+// parameter in the same signature is assumed to be invoked from pool
+// goroutines (the workloads.ForEach / RunAll seam, and the parallel fleet
+// engine to come).
+var workerParamNames = map[string]bool{
+	"workers": true, "parallel": true, "parallelism": true,
+	"concurrency": true, "jobs": true,
+}
+
+// GoroutineCapture flags concurrent closures — `go` statements and function
+// literals handed to worker-pool APIs — that capture and mutate shared
+// state: writes to captured slices/maps/scalars, and method calls on
+// captured single-threaded facilities (*sim.Engine, *trace.Buffer,
+// *analysis.Pipeline). The byte-identical-traces invariant (PR 2) holds
+// only because every worker owns its engine and sink; an unsynchronized
+// shared accumulator is both a race and a determinism leak.
+//
+// Recognized safe seams: closures that take a mutex (any Lock/RLock call in
+// the body), channel sends/receives, and per-worker-index writes to a
+// captured slice (out[i] = ... where i is a closure parameter or
+// closure-local variable — distinct indices per worker never alias).
+var GoroutineCapture = &Analyzer{
+	Name: "goroutinecapture",
+	Doc: "go statements and worker-pool closures must not mutate captured " +
+		"shared state without a mutex, channel, or per-worker seam",
+	Run: runGoroutineCapture,
+}
+
+func runGoroutineCapture(pass *Pass) {
+	if !strings.HasPrefix(pass.Pkg.Path, "timerstudy/") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		var loops []ast.Node // enclosing for/range statements, innermost last
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, n)
+				ast.Inspect(nodeBody(n), walk)
+				loops = loops[:len(loops)-1]
+				return false
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkLoopVarCapture(pass, loops, lit)
+					checkConcurrentClosure(pass, lit, "go statement")
+				}
+			case *ast.CallExpr:
+				for _, lit := range workerPoolClosures(pass, n) {
+					checkConcurrentClosure(pass, lit, "worker-pool closure")
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// nodeBody returns the body block of a for or range statement.
+func nodeBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// workerPoolClosures returns function literals passed to a call whose
+// signature pairs a pool-size int parameter with func parameters.
+func workerPoolClosures(pass *Pass, call *ast.CallExpr) []*ast.FuncLit {
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		return nil
+	}
+	pool := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if b, ok := p.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 &&
+			workerParamNames[strings.ToLower(p.Name())] {
+			pool = true
+			break
+		}
+	}
+	if !pool {
+		return nil
+	}
+	var out []*ast.FuncLit
+	for i, arg := range call.Args {
+		p := paramAt(sig, i)
+		if p == nil {
+			continue
+		}
+		if _, isFunc := p.Type().Underlying().(*types.Signature); !isFunc {
+			continue
+		}
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+	}
+	return out
+}
+
+// checkLoopVarCapture reports a goroutine closure referencing an enclosing
+// loop's iteration variable. Per-iteration loop variables (go >= 1.22) make
+// this safe at runtime, but the capture still couples goroutine lifetime to
+// loop state the reader must reason about; pass the value as an argument.
+func checkLoopVarCapture(pass *Pass, loops []ast.Node, lit *ast.FuncLit) {
+	vars := map[types.Object]bool{}
+	for _, loop := range loops {
+		switch l := loop.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{l.Key, l.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+						vars[obj] = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := l.Init.(*ast.AssignStmt); ok {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(vars) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Pkg.Info.Uses[id]; obj != nil && vars[obj] {
+			pass.ReportSeverity(SeverityWarning, "loopvar", id.Pos(),
+				"goroutine closure captures loop variable %q; pass it as an argument so the iteration it belongs to is explicit",
+				id.Name)
+			delete(vars, obj) // one report per variable per closure
+		}
+		return true
+	})
+}
+
+// checkConcurrentClosure flags unsynchronized mutation of captured state
+// inside a closure that will run on another goroutine.
+func checkConcurrentClosure(pass *Pass, lit *ast.FuncLit, context string) {
+	if closureTakesLock(pass, lit) {
+		return
+	}
+	captured := func(id *ast.Ident) *types.Var {
+		obj, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return nil
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return nil // declared inside the closure (params included)
+		}
+		return obj
+	}
+	localIdx := func(idx ast.Expr) bool {
+		// An index expression is a per-worker seam if every variable in it
+		// is closure-local (a parameter or declared inside the body).
+		ok := true
+		ast.Inspect(idx, func(n ast.Node) bool {
+			if id, isID := n.(*ast.Ident); isID {
+				if v := captured(id); v != nil {
+					ok = false
+				}
+			}
+			return ok
+		})
+		return ok
+	}
+	report := func(pos ast.Node, format string, args ...any) {
+		pass.Report("shared-write", pos.Pos(), format, args...)
+	}
+
+	checkWrite := func(lhs ast.Expr) {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if v := captured(e); v != nil {
+				pass.Report("shared-write", e.Pos(),
+					"closure run on another goroutine writes captured variable %q without synchronization; use a mutex, a channel, or a per-worker copy", e.Name)
+			}
+		case *ast.IndexExpr:
+			root, rootOk := ast.Unparen(e.X).(*ast.Ident)
+			if !rootOk {
+				return
+			}
+			v := captured(root)
+			if v == nil {
+				return
+			}
+			if _, isMap := v.Type().Underlying().(*types.Map); isMap {
+				report(e, "concurrent write to captured map %q (map writes race even on distinct keys); guard it with a mutex or shard per worker", root.Name)
+				return
+			}
+			if !localIdx(e.Index) {
+				report(e, "write to captured slice %q at an index not derived from this closure's own variables; distinct per-worker indices are the only safe unsynchronized seam", root.Name)
+			}
+		case *ast.SelectorExpr:
+			if root := selectorRoot(e); root != nil {
+				if v := captured(root); v != nil && isUnsafeSharedType(v.Type()) {
+					report(e, "field write on captured %s %q from a concurrent closure; give each worker its own instance", typeLabel(v.Type()), root.Name)
+				}
+			}
+		case *ast.StarExpr:
+			if root, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				if v := captured(root); v != nil {
+					report(e, "write through captured pointer %q from a concurrent closure without synchronization", root.Name)
+				}
+			}
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != lit {
+				return true // nested literals inherit the same capture checks
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X)
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if root, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if v := captured(root); v != nil && isUnsafeSharedType(v.Type()) {
+						report(n, "%s.%s called on a captured single-threaded %s from a concurrent closure; give each worker its own instance or funnel calls through one goroutine",
+							root.Name, sel.Sel.Name, typeLabel(v.Type()))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// closureTakesLock reports whether the closure body calls a Lock/RLock
+// method anywhere — the coarse "this closure brought a mutex" signal; the
+// race detector remains the dynamic backstop for misuse.
+func closureTakesLock(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// selectorRoot returns the leftmost identifier of a selector chain.
+func selectorRoot(e *ast.SelectorExpr) *ast.Ident {
+	x := ast.Unparen(e.X)
+	for {
+		switch v := x.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			x = ast.Unparen(v.X)
+		case *ast.StarExpr:
+			x = ast.Unparen(v.X)
+		case *ast.IndexExpr:
+			x = ast.Unparen(v.X)
+		default:
+			return nil
+		}
+	}
+}
+
+// isUnsafeSharedType reports whether t (or *t) is one of the module's
+// documented single-threaded facilities.
+func isUnsafeSharedType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	names := unsafeSharedTypes[obj.Pkg().Path()]
+	return names != nil && names[obj.Name()]
+}
+
+// typeLabel renders a type's short name for diagnostics.
+func typeLabel(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			parts := strings.Split(pkg.Path(), "/")
+			return parts[len(parts)-1] + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return t.String()
+}

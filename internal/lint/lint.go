@@ -23,14 +23,35 @@
 //     Section 5.3 coalescing windows; Window/AnyTimeAfter (or a reasoned
 //     suppression) is required.
 //
+// Since PR 2-4 the repo has grown invariants of its own — byte-identical
+// traces at any worker count, and an allocation-free hot path — so the suite
+// also polices the determinism and performance properties the parallel fleet
+// engine will be written under:
+//
+//   - mapiter: no order-sensitive output (trace records, shared-slice
+//     appends, rendered text) from inside a `range` over a map, unless the
+//     collected slice is visibly sorted afterwards — the exact bug class PR 2
+//     fixed by hand in the value-histogram ordering.
+//   - goroutinecapture: `go` statements and worker-pool closures must not
+//     capture and mutate shared state (engines, trace buffers, pipelines,
+//     plain maps/slices) without a mutex, channel or per-worker-index seam.
+//   - allocfree: functions annotated //lint:allocfree are checked against
+//     the compiler's own escape analysis (`go build -gcflags=-m=2`), so an
+//     alloc regression is reported at the offending line instead of as an
+//     opaque AllocsPerRun failure.
+//
 // Diagnostics are position-accurate and can be suppressed at the offending
-// line (or the line above it) with:
+// line (or the line above it — a directive above a multi-line statement
+// covers the whole statement) with:
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // where <analyzer> is one of the analyzer names (or "all") and <reason> is a
 // mandatory human explanation — an unsuppressed echo of the paper's
-// provenance proposal (Section 5.2).
+// provenance proposal (Section 5.2). A whole file opts out of one analyzer
+// with:
+//
+//	//lint:file-ignore <analyzer> <reason>
 package lint
 
 import (
@@ -41,6 +62,16 @@ import (
 	"strings"
 )
 
+// Severity grades a finding. Errors are invariant violations that gate CI;
+// warnings are hazards worth a human look that do not fail the build on
+// their own (the text and GitHub output formats carry the distinction).
+type Severity string
+
+const (
+	SeverityError   Severity = "error"
+	SeverityWarning Severity = "warning"
+)
+
 // Diagnostic is one finding, positioned at a token in a source file.
 type Diagnostic struct {
 	// Analyzer names the analyzer that produced the finding.
@@ -48,6 +79,8 @@ type Diagnostic struct {
 	// Category is an analyzer-specific classification; for magictimeout it
 	// is the paper's round-number taxonomy class.
 	Category string `json:"category,omitempty"`
+	// Severity grades the finding; empty means SeverityError.
+	Severity Severity `json:"severity,omitempty"`
 	// Pos locates the finding.
 	Pos token.Position `json:"-"`
 	// File/Line/Col are the JSON-friendly projection of Pos.
@@ -56,6 +89,14 @@ type Diagnostic struct {
 	Col  int    `json:"col"`
 	// Message states the violation and the expected fix.
 	Message string `json:"message"`
+}
+
+// severity returns the effective severity (the zero value means error).
+func (d Diagnostic) severity() Severity {
+	if d.Severity == "" {
+		return SeverityError
+	}
+	return d.Severity
 }
 
 // String renders the diagnostic in the canonical file:line:col form.
@@ -74,6 +115,9 @@ type Analyzer struct {
 	Name string
 	// Doc describes the invariant the analyzer enforces.
 	Doc string
+	// Severity is the default grade of this analyzer's findings; the zero
+	// value means SeverityError.
+	Severity Severity
 	// Run inspects one type-checked package and reports findings.
 	Run func(*Pass)
 }
@@ -97,10 +141,29 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Report records a finding with an explicit category.
 func (p *Pass) Report(category string, pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
+	p.ReportSeverity(p.Analyzer.Severity, category, pos, format, args...)
+}
+
+// ReportSeverity records a finding with an explicit severity override
+// (empty means the analyzer's default).
+func (p *Pass) ReportSeverity(sev Severity, category string, pos token.Pos, format string, args ...any) {
+	p.ReportPosition(sev, category, p.Fset.Position(pos), format, args...)
+}
+
+// ReportPosition records a finding at an already-resolved file position.
+// Analyzers whose evidence comes from outside the parsed AST (allocfree maps
+// compiler escape diagnostics back to source) use this entry point.
+func (p *Pass) ReportPosition(sev Severity, category string, position token.Position, format string, args ...any) {
+	if sev == "" {
+		sev = p.Analyzer.Severity
+	}
+	if sev == "" {
+		sev = SeverityError
+	}
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Category: category,
+		Severity: sev,
 		Pos:      position,
 		File:     position.Filename,
 		Line:     position.Line,
@@ -112,12 +175,19 @@ func (p *Pass) Report(category string, pos token.Pos, format string, args ...any
 // TypeOf returns the type of an expression in the package under inspection.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
 
-// ignoreDirective is one parsed //lint:ignore comment.
+// ignoreDirective is one parsed //lint:ignore or //lint:file-ignore comment.
 type ignoreDirective struct {
 	analyzer string // analyzer name or "all"
 	reason   string
 	line     int
-	used     bool
+	// endLine is the last line the directive covers: the end of the
+	// statement (or const spec) starting on the directive's line or the
+	// line below, so one directive above a wrapped multi-line call covers
+	// findings anywhere inside the call.
+	endLine int
+	// wholeFile marks a //lint:file-ignore directive.
+	wholeFile bool
+	used      bool
 }
 
 // suppressions indexes a package's ignore directives by file.
@@ -128,47 +198,106 @@ type suppressions struct {
 	malformed []Diagnostic
 }
 
-const ignorePrefix = "//lint:ignore"
+const (
+	ignorePrefix     = "//lint:ignore "
+	fileIgnorePrefix = "//lint:file-ignore "
+)
 
 // collectSuppressions scans a package's comments for ignore directives.
 func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 	s := &suppressions{byFile: map[string][]*ignoreDirective{}}
 	for _, f := range files {
+		extents := stmtExtents(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				var rest string
+				wholeFile := false
+				switch {
+				case strings.HasPrefix(c.Text, ignorePrefix):
+					rest = strings.TrimPrefix(c.Text, ignorePrefix)
+				case strings.HasPrefix(c.Text, fileIgnorePrefix):
+					rest = strings.TrimPrefix(c.Text, fileIgnorePrefix)
+					wholeFile = true
+				case c.Text == strings.TrimSpace(ignorePrefix):
+					rest = "" // directive with no payload at all: malformed
+				case c.Text == strings.TrimSpace(fileIgnorePrefix):
+					rest = ""
+					wholeFile = true
+				default:
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-				fields := strings.SplitN(rest, " ", 2)
+				kind := "//lint:ignore"
+				if wholeFile {
+					kind = "//lint:file-ignore"
+				}
+				fields := strings.SplitN(strings.TrimSpace(rest), " ", 2)
 				if len(fields) < 2 || strings.TrimSpace(fields[1]) == "" {
 					s.malformed = append(s.malformed, Diagnostic{
 						Analyzer: "lint",
+						Severity: SeverityError,
 						Pos:      pos,
 						File:     pos.Filename,
 						Line:     pos.Line,
 						Col:      pos.Column,
-						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+						Message:  fmt.Sprintf("malformed %s directive: want \"%s <analyzer> <reason>\"", kind, kind),
 					})
 					continue
 				}
-				s.byFile[pos.Filename] = append(s.byFile[pos.Filename], &ignoreDirective{
-					analyzer: fields[0],
-					reason:   strings.TrimSpace(fields[1]),
-					line:     pos.Line,
-				})
+				dir := &ignoreDirective{
+					analyzer:  fields[0],
+					reason:    strings.TrimSpace(fields[1]),
+					line:      pos.Line,
+					endLine:   pos.Line + 1,
+					wholeFile: wholeFile,
+				}
+				// The covered statement starts either on the directive's own
+				// line (trailing comment) or on the line below; extend the
+				// window to that statement's last line.
+				if end, ok := extents[pos.Line]; ok && end > dir.endLine {
+					dir.endLine = end
+				}
+				if end, ok := extents[pos.Line+1]; ok && end > dir.endLine {
+					dir.endLine = end
+				}
+				s.byFile[pos.Filename] = append(s.byFile[pos.Filename], dir)
 			}
 		}
 	}
 	return s
 }
 
-// suppresses reports whether d is covered by a directive on its own line or
-// the line directly above, for the matching analyzer (or "all").
+// stmtExtents maps the starting line of every simple statement (and const/var
+// spec) of f to the largest ending line among nodes starting there. Block
+// statements (if/for/switch bodies) are deliberately excluded: a directive
+// above an `if` should not silence the whole block.
+func stmtExtents(fset *token.FileSet, f *ast.File) map[int]int {
+	extents := map[int]int{}
+	record := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end > extents[start] {
+			extents[start] = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt, *ast.DeclStmt,
+			*ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt,
+			*ast.ValueSpec:
+			record(n)
+		}
+		return true
+	})
+	return extents
+}
+
+// suppresses reports whether d is covered by a matching directive: a
+// file-ignore anywhere in the file, or a line directive whose window (its
+// own line through the end of the statement below it) contains d.
 func (s *suppressions) suppresses(d Diagnostic) bool {
 	for _, dir := range s.byFile[d.File] {
-		if dir.line != d.Line && dir.line != d.Line-1 {
+		if !dir.wholeFile && (d.Line < dir.line || d.Line > dir.endLine) {
 			continue
 		}
 		if dir.analyzer == "all" || dir.analyzer == d.Analyzer {

@@ -25,6 +25,9 @@ var fixtures = []struct {
 	{"uncheckedcancel", "timerstudy/internal/lintfixture/cancel"},
 	{"exactspec", "timerstudy/internal/lintfixture/exact"},
 	{"rawsink", "timerstudy/internal/lintfixture/rawsink"},
+	{"mapiter", "timerstudy/internal/lintfixture/mapiter"},
+	{"goroutinecapture", "timerstudy/internal/lintfixture/capture"},
+	{"allocfree", "timerstudy/internal/lintfixture/alloc"},
 }
 
 // wantRe matches expectation comments:

@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the module.
@@ -30,6 +32,12 @@ type Package struct {
 // Loader loads and type-checks the module's packages using only the standard
 // library: our own packages are type-checked from source recursively; the
 // standard library is resolved through go/importer's source importer.
+//
+// The loader is safe for concurrent use: LoadAll type-checks independent
+// packages on a worker pool, deduplicating shared imports through a
+// single-flight table. Import cycles among module packages are detected
+// up front from a parse-only pass, so a broken fixture errors instead of
+// deadlocking the pool.
 type Loader struct {
 	// ModuleDir is the absolute directory containing go.mod.
 	ModuleDir string
@@ -37,9 +45,24 @@ type Loader struct {
 	ModulePath string
 
 	fset *token.FileSet
-	std  types.Importer
-	pkgs map[string]*Package // memoized by import path
-	busy map[string]bool     // import-cycle guard
+
+	// stdMu serializes the standard-library source importer, which is not
+	// documented to be concurrency-safe. Its internal memoization makes
+	// repeat imports cheap, so the serialization only bites on first touch.
+	stdMu sync.Mutex
+	std   types.Importer
+
+	// mu guards pkgs and inflight.
+	mu       sync.Mutex
+	pkgs     map[string]*Package // memoized by import path
+	inflight map[string]*flight  // single-flight for concurrent loads
+}
+
+// flight is one in-progress package load another goroutine can wait on.
+type flight struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewLoader creates a loader rooted at the module containing dir.
@@ -59,7 +82,7 @@ func NewLoader(dir string) (*Loader, error) {
 		fset:       fset,
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       map[string]*Package{},
-		busy:       map[string]bool{},
+		inflight:   map[string]*flight{},
 	}, nil
 }
 
@@ -99,10 +122,109 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("lint: no module directive in %s", gomod)
 }
 
-// LoadAll loads every package of the module, skipping testdata, hidden
-// directories and vendor trees, returning packages sorted by import path.
-func (l *Loader) LoadAll() ([]*Package, error) {
-	var dirs []string
+// LoadAll loads every package of the module on a worker pool sized to
+// GOMAXPROCS, skipping testdata, hidden directories and vendor trees,
+// returning packages sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) { return l.LoadAllWorkers(0) }
+
+// LoadAllWorkers is LoadAll with an explicit worker count (<=0 means
+// GOMAXPROCS). Type-checking is scheduled in dependency order: a package
+// starts once its module-internal imports are done, so workers never block
+// on each other's in-flight loads longer than one import edge.
+func (l *Loader) LoadAllWorkers(workers int) ([]*Package, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	dirs, err := l.moduleDirs()
+	if err != nil {
+		return nil, err
+	}
+	order, deps, err := l.dependencyOrder(dirs)
+	if err != nil {
+		return nil, err
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+
+	// Topological wave scheduling: ready paths flow through a queue;
+	// finishing a package unblocks its dependents.
+	dependents := map[string][]string{}
+	indegree := map[string]int{}
+	for _, path := range order {
+		indegree[path] = len(deps[path])
+		for _, dep := range deps[path] {
+			dependents[dep] = append(dependents[dep], path)
+		}
+	}
+	var (
+		mu        sync.Mutex
+		ready     []string
+		completed int
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	cond := sync.NewCond(&mu)
+	for _, path := range order {
+		if indegree[path] == 0 {
+			ready = append(ready, path)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(ready) == 0 && completed < len(order) && firstErr == nil {
+					cond.Wait()
+				}
+				if firstErr != nil || len(ready) == 0 {
+					mu.Unlock()
+					return
+				}
+				path := ready[0]
+				ready = ready[1:]
+				mu.Unlock()
+
+				_, err := l.LoadDirAs(dirs[path], path)
+
+				mu.Lock()
+				completed++
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				for _, dep := range dependents[path] {
+					indegree[dep]--
+					if indegree[dep] == 0 {
+						ready = append(ready, dep)
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var out []*Package
+	l.mu.Lock()
+	for _, path := range order {
+		if p, ok := l.pkgs[path]; ok {
+			out = append(out, p)
+		}
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// moduleDirs maps every module package's import path to its directory.
+func (l *Loader) moduleDirs() (map[string]string, error) {
+	dirs := map[string]string{}
 	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -116,23 +238,124 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 			return filepath.SkipDir
 		}
 		if hasGoFiles(path) {
-			dirs = append(dirs, path)
+			importPath, err := l.dirImportPath(path)
+			if err != nil {
+				return err
+			}
+			dirs[importPath] = path
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(dirs)
-	var out []*Package
-	for _, dir := range dirs {
-		p, err := l.LoadDir(dir)
+	return dirs, nil
+}
+
+// dependencyOrder parses import clauses only (cheap) and topologically sorts
+// the module-internal dependency graph, reporting any cycle by its path.
+func (l *Loader) dependencyOrder(dirs map[string]string) (order []string, deps map[string][]string, err error) {
+	deps = map[string][]string{}
+	paths := make([]string, 0, len(dirs))
+	for path := range dirs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		imports, err := l.moduleImports(dirs[path])
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, imp := range imports {
+			if _, ok := dirs[imp]; ok {
+				deps[path] = append(deps[path], imp)
+			}
+		}
+	}
+	// Kahn's algorithm over the sorted paths keeps the order deterministic.
+	indegree := map[string]int{}
+	dependents := map[string][]string{}
+	for _, path := range paths {
+		indegree[path] = len(deps[path])
+		for _, dep := range deps[path] {
+			dependents[dep] = append(dependents[dep], path)
+		}
+	}
+	queue := make([]string, 0, len(paths))
+	for _, path := range paths {
+		if indegree[path] == 0 {
+			queue = append(queue, path)
+		}
+	}
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		order = append(order, path)
+		for _, dep := range dependents[path] {
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if len(order) != len(paths) {
+		var cyclic []string
+		for _, path := range paths {
+			if indegree[path] > 0 {
+				cyclic = append(cyclic, path)
+			}
+		}
+		return nil, nil, fmt.Errorf("lint: import cycle among %s", strings.Join(cyclic, ", "))
+	}
+	return order, deps, nil
+}
+
+// moduleImports lists the module-internal import paths of the package in dir,
+// from a parse of import clauses only (a separate throwaway FileSet, so the
+// real one sees each file exactly once).
+func (l *Loader) moduleImports(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, p)
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
 	}
+	sort.Strings(out)
 	return out, nil
+}
+
+// dirImportPath resolves a module directory to its natural import path.
+func (l *Loader) dirImportPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleDir)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
 }
 
 func hasGoFiles(dir string) bool {
@@ -150,33 +373,60 @@ func hasGoFiles(dir string) bool {
 
 // LoadDir loads the package in dir under its natural module import path.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
-	abs, err := filepath.Abs(dir)
+	path, err := l.dirImportPath(dir)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := filepath.Rel(l.ModuleDir, abs)
-	if err != nil || strings.HasPrefix(rel, "..") {
-		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleDir)
-	}
-	path := l.ModulePath
-	if rel != "." {
-		path = l.ModulePath + "/" + filepath.ToSlash(rel)
-	}
+	abs, _ := filepath.Abs(dir)
 	return l.LoadDirAs(abs, path)
 }
 
 // LoadDirAs loads the package in dir, registering it under the given import
 // path. Tests use this to place fixture packages on policed paths.
 func (l *Loader) LoadDirAs(dir, path string) (*Package, error) {
+	return l.load(dir, path, nil)
+}
+
+// load resolves one package, deduplicating concurrent loads of the same path
+// and detecting same-goroutine import cycles through the chain of paths the
+// current type-check descended through.
+func (l *Loader) load(dir, path string, chain []string) (*Package, error) {
+	for _, c := range chain {
+		if c == path {
+			return nil, fmt.Errorf("lint: import cycle through %s (chain %s)", path, strings.Join(append(chain, path), " -> "))
+		}
+	}
+	l.mu.Lock()
 	if p, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
 		return p, nil
 	}
-	if l.busy[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	if fl, ok := l.inflight[path]; ok {
+		// Another goroutine is loading this package. Legal Go cannot cycle
+		// across goroutines here: LoadAll schedules in dependency order and
+		// rejects cyclic module graphs before any type-check starts.
+		l.mu.Unlock()
+		<-fl.done
+		return fl.pkg, fl.err
 	}
-	l.busy[path] = true
-	defer delete(l.busy, path)
+	fl := &flight{done: make(chan struct{})}
+	l.inflight[path] = fl
+	l.mu.Unlock()
 
+	fl.pkg, fl.err = l.typecheck(dir, path, append(chain, path))
+
+	l.mu.Lock()
+	if fl.err == nil {
+		l.pkgs[path] = fl.pkg
+	}
+	delete(l.inflight, path)
+	l.mu.Unlock()
+	close(fl.done)
+	return fl.pkg, fl.err
+}
+
+// typecheck parses and type-checks the package in dir as path.
+func (l *Loader) typecheck(dir, path string, chain []string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -203,29 +453,33 @@ func (l *Loader) LoadDirAs(dir, path string) (*Package, error) {
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
-	conf := types.Config{Importer: (*moduleImporter)(l)}
+	conf := types.Config{Importer: &chainImporter{l: l, chain: chain}}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
-	l.pkgs[path] = p
-	return p, nil
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
 }
 
-// moduleImporter resolves module-internal import paths from source and
-// delegates everything else to the standard-library source importer.
-type moduleImporter Loader
+// chainImporter resolves module-internal import paths from source, threading
+// the loading chain for cycle detection, and delegates everything else to
+// the (serialized) standard-library source importer.
+type chainImporter struct {
+	l     *Loader
+	chain []string
+}
 
-func (m *moduleImporter) Import(path string) (*types.Package, error) {
-	l := (*Loader)(m)
+func (m *chainImporter) Import(path string) (*types.Package, error) {
+	l := m.l
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
-		p, err := l.LoadDirAs(filepath.Join(l.ModuleDir, filepath.FromSlash(rel)), path)
+		p, err := l.load(filepath.Join(l.ModuleDir, filepath.FromSlash(rel)), path, m.chain)
 		if err != nil {
 			return nil, err
 		}
 		return p.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }

@@ -1,0 +1,112 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"timerstudy/internal/lint"
+)
+
+// TestLoadBrokenSyntax pins the loader's contract on unparseable input: an
+// error naming the file, never a panic.
+func TestLoadBrokenSyntax(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.LoadDirAs(filepath.Join("testdata", "src", "broken_syntax"), "timerstudy/internal/lintfixture/brokensyntax")
+	if err == nil {
+		t.Fatal("loading a syntactically invalid package succeeded")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+}
+
+// TestLoadBrokenTypes pins the contract on parseable-but-untypeable input.
+func TestLoadBrokenTypes(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.LoadDirAs(filepath.Join("testdata", "src", "broken_types"), "timerstudy/internal/lintfixture/brokentypes")
+	if err == nil {
+		t.Fatal("loading a type-broken package succeeded")
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("error does not mention type-checking: %v", err)
+	}
+	// A failed load must not poison the loader for later good packages.
+	if _, err := loader.LoadDirAs(filepath.Join("testdata", "src", "wallclock"), "timerstudy/internal/lintfixture/wallafter"); err != nil {
+		t.Errorf("good package fails to load after a broken one: %v", err)
+	}
+}
+
+// TestLoadAllWorkerCounts pins the parallel loader's determinism: every
+// worker count yields the same package set, and findings over those
+// packages are identical.
+func TestLoadAllWorkerCounts(t *testing.T) {
+	var base []string
+	for _, workers := range []int{1, 4, 16} {
+		loader, err := lint.NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := loader.LoadAllWorkers(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.Path)
+		}
+		if base == nil {
+			base = paths
+			continue
+		}
+		if strings.Join(base, " ") != strings.Join(paths, " ") {
+			t.Errorf("workers=%d: package set %v, want %v", workers, paths, base)
+		}
+	}
+}
+
+// TestJSONGoldenOrdering locks the JSON rendering and its file/line/col
+// ordering to a committed golden: the CI artifact must be byte-stable for a
+// given set of violations, or diffing findings between runs is hopeless.
+func TestJSONGoldenOrdering(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", "mapiter"), "timerstudy/internal/lintfixture/mapiter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := lint.Run(loader, []*lint.Package{pkg}, lint.Analyzers())
+	for i := 1; i < len(ds); i++ {
+		a, b := ds[i-1], ds[i]
+		if a.File > b.File || (a.File == b.File && (a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col))) {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+	got, err := lint.JSON(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	goldenPath := filepath.Join("testdata", "golden", "mapiter.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("JSON output differs from golden %s (run with UPDATE_GOLDEN=1 to regenerate)\ngot:\n%s", goldenPath, got)
+	}
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// tracePkgPath declares Record/Sink, the types whose appearance inside a map
+// iteration marks order-sensitive emission.
+const tracePkgPath = "timerstudy/internal/trace"
+
+// MapIter flags order-sensitive work performed while ranging over a map:
+// Go randomizes map iteration order per run, so anything emitted from the
+// loop body — trace records, appends to a slice that is never sorted,
+// rendered text — differs between byte-identical inputs. This is exactly the
+// bug class behind the PR 2 value-histogram nondeterminism (jiffy/user bins
+// tying on Value were emitted in map order), caught at review time instead
+// of by golden-test drift.
+//
+// The analyzer recognizes the two deterministic idioms and stays quiet for
+// them: collecting into a slice that is visibly sorted after the loop
+// (sort.* / slices.Sort* on the same variable), and pure order-insensitive
+// accumulation (map/counter writes, integer sums).
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "no trace emission, unsorted shared-slice append, or output while " +
+		"ranging over a map; iteration order is randomized per run",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	if !strings.HasPrefix(pass.Pkg.Path, "timerstudy/") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, f, rs)
+			return true
+		})
+	}
+}
+
+// checkMapRangeBody walks one map-range body for order-sensitive effects.
+func checkMapRangeBody(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges report on their own; don't double-visit.
+			if n != rs {
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, file, rs, n)
+		case *ast.AssignStmt:
+			checkMapRangeAppend(pass, file, rs, n)
+		}
+		return true
+	})
+}
+
+// checkMapRangeCall flags calls that emit ordered output: anything taking a
+// trace.Record (Sink.Log and friends), fmt printing to a stream, and direct
+// Write/WriteString-style sinks.
+func checkMapRangeCall(pass *Pass, file *ast.File, rs *ast.RangeStmt, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if t := pass.TypeOf(arg); t != nil && isTraceRecord(t) {
+			pass.Report("emit", call.Pos(),
+				"trace record emitted while ranging over a map: record order would differ run to run; iterate sorted keys instead")
+			return
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+			if obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Print") {
+				pass.Report("output", call.Pos(),
+					"fmt.%s inside a range over a map: output line order is randomized per run; iterate sorted keys instead", obj.Name())
+				return
+			}
+			if obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Fprint") {
+				pass.Report("output", call.Pos(),
+					"fmt.%s inside a range over a map: output line order is randomized per run; iterate sorted keys instead", obj.Name())
+				return
+			}
+		}
+		switch fun.Sel.Name {
+		case "WriteString", "WriteByte", "WriteRune", "Write":
+			// A writer method: only order-sensitive if the writer outlives
+			// the loop (an io.Writer, strings.Builder, bytes.Buffer, ...);
+			// a writer born inside the iteration cannot observe order.
+			m, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+			if !ok || m.Type().(*types.Signature).Recv() == nil {
+				return
+			}
+			if root, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+				if v, ok := pass.Pkg.Info.Uses[root].(*types.Var); ok &&
+					v.Pos() >= rs.Pos() && v.Pos() < rs.End() {
+					return
+				}
+			}
+			pass.Report("output", call.Pos(),
+				"%s while ranging over a map: emitted byte order is randomized per run; iterate sorted keys instead", fun.Sel.Name)
+		}
+	}
+}
+
+// checkMapRangeAppend flags appends from a map-range body into a slice
+// declared outside the loop, unless that slice is visibly sorted after the
+// loop in the same function.
+func checkMapRangeAppend(pass *Pass, file *ast.File, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		target, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Pkg.Info.Uses[target]
+		if obj == nil {
+			obj = pass.Pkg.Info.Defs[target]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			continue
+		}
+		// Only appends to slices declared OUTSIDE the loop leak iteration
+		// order; a loop-local slice dies with the iteration.
+		if v.Pos() >= rs.Pos() && v.Pos() < rs.End() {
+			continue
+		}
+		if sortedAfter(pass, file, rs, v) {
+			continue
+		}
+		pass.Report("append", as.Pos(),
+			"append to %q while ranging over a map leaks iteration order; sort %q after the loop (or range over sorted keys)",
+			target.Name, target.Name)
+	}
+}
+
+// sortedAfter reports whether v is passed to a sort.* or slices.* call after
+// the range statement, anywhere in the enclosing file — the "visibly sorted
+// first" escape hatch for the collect-keys-then-sort idiom.
+func sortedAfter(pass *Pass, file *ast.File, rs *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == v {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isTraceRecord reports whether t is (an alias of) trace.Record.
+func isTraceRecord(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Record" && obj.Pkg() != nil && obj.Pkg().Path() == tracePkgPath
+}

@@ -1,0 +1,51 @@
+// Package allocfix exercises the allocfree analyzer. Unlike the other
+// fixtures this one is also compiled by the real toolchain: the analyzer
+// shells out to `go build -gcflags=-m=2` on this directory and maps the
+// escape diagnostics back into the annotated functions below.
+package allocfix
+
+var sink *int
+
+// hotClean is the invariant holding: arithmetic over stack values, nothing
+// escapes, no finding.
+//
+//lint:allocfree fixture: pure arithmetic hot path
+func hotClean(a, b int) int {
+	s := 0
+	for i := a; i < b; i++ {
+		s += i * i
+	}
+	return s
+}
+
+// regressed is the deliberately-broken hot path: the local escapes through
+// the package-level sink, and the analyzer must flag the exact line.
+//
+//lint:allocfree fixture: deliberately regressed — the line below must be flagged
+func regressed(n int) int {
+	x := n + 1 // want:allocfree "heap allocation in //lint:allocfree function regressed"
+	sink = &x
+	return *sink
+}
+
+// pooled has a cold grow path inside a hot function; the allocation is
+// acknowledged with a reasoned suppression, the steady state stays gated.
+//
+//lint:allocfree fixture: steady-state reslice; grow is cold and suppressed
+func pooled(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		//lint:ignore allocfree fixture: cold grow path, amortized across calls
+		buf = make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// unannotated allocates freely: without the marker the analyzer has no
+// opinion.
+func unannotated(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

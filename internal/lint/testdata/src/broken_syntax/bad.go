@@ -1,0 +1,7 @@
+// Package brokensyntax is a fixture that must fail to parse: the loader has
+// to return an error, never panic, when pointed at it.
+package brokensyntax
+
+func missingBody( {
+	if true {
+}

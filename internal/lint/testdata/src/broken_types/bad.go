@@ -1,0 +1,8 @@
+// Package brokentypes parses fine but cannot type-check: undefined names
+// and a mistyped assignment. The loader must surface the type error.
+package brokentypes
+
+func useUndefined() int {
+	var s string = 42
+	return undefinedIdentifier + len(s)
+}

@@ -1,0 +1,107 @@
+// Package capturefix exercises the goroutinecapture analyzer: concurrent
+// closures mutating captured shared state. The harness loads it under a
+// timerstudy/internal/... import path.
+package capturefix
+
+import (
+	"sync"
+
+	"timerstudy/internal/sim"
+)
+
+// forEach has the worker-pool shape the analyzer keys on: a pool-size int
+// parameter named "workers" alongside func parameters. Closures passed here
+// run on pool goroutines.
+func forEach(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// fanOut is the canonical fleet seam and its canonical corruption, side by
+// side: per-worker index writes are safe, a shared append is not.
+func fanOut() ([]int, []int) {
+	out := make([]int, 8)
+	var hist []int
+	forEach(8, 4, func(i int) {
+		out[i] = i * i         // clean: index is the closure's own parameter
+		hist = append(hist, i) // want:goroutinecapture "writes captured variable"
+	})
+	return out, hist
+}
+
+// sharedCounters shows the remaining unsynchronized shapes: a captured
+// scalar, a captured map, and a captured slice indexed by a captured var.
+func sharedCounters(j int) {
+	total := 0
+	counts := map[string]int{}
+	slots := make([]int, 16)
+	go func() {
+		total++           // want:goroutinecapture "writes captured variable"
+		counts["set"] = 1 // want:goroutinecapture "concurrent write to captured map"
+		slots[j] = 1      // want:goroutinecapture "index not derived from this closure"
+	}()
+	_ = slots
+}
+
+// engineShared captures a single-threaded engine: even a read-shaped method
+// call races with the owner goroutine's scheduling.
+func engineShared() {
+	e := sim.NewEngine(1)
+	go func() {
+		e.Step() // want:goroutinecapture "captured single-threaded sim.Engine"
+	}()
+}
+
+// lockedAccumulate brings a mutex, the analyzer's coarse evidence that the
+// author thought about synchronization.
+func lockedAccumulate() []int {
+	var mu sync.Mutex
+	var hist []int
+	forEach(8, 4, func(i int) {
+		mu.Lock()
+		hist = append(hist, i) // clean: closure takes the lock
+		mu.Unlock()
+	})
+	return hist
+}
+
+// channelFunnel hands results to one consumer over a channel; nothing
+// shared is written.
+func channelFunnel() int {
+	res := make(chan int, 8)
+	forEach(8, 4, func(i int) {
+		res <- i // clean: channel send is a synchronized seam
+	})
+	total := 0
+	for i := 0; i < 8; i++ {
+		total += <-res
+	}
+	return total
+}
+
+// loopCapture references the range variable from a spawned goroutine;
+// per-iteration semantics (go >= 1.22) make it safe but implicit, so it is
+// a warning, not an error.
+func loopCapture(ws []int) {
+	done := make(chan struct{}, len(ws))
+	for _, w := range ws {
+		go func() {
+			_ = w // want:goroutinecapture "captures loop variable"
+			done <- struct{}{}
+		}()
+	}
+}
+
+// suppressed documents a deliberate exception with a reasoned directive.
+func suppressed() {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		//lint:ignore goroutinecapture fixture: the channel below sequences this write before the read
+		n = 42
+		close(done)
+	}()
+	<-done
+	_ = n
+}

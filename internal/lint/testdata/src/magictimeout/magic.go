@@ -38,3 +38,19 @@ var _ = 0
 //
 //lint:ignore wallclock nothing on the next line violates wallclock
 var _ = 1
+
+// wrapped regression-tests suppression scoping: the directive sits above a
+// call wrapped over several lines, and the magic constant (the finding
+// position) is on the call's LAST line, not the line directly under the
+// directive. The whole statement must be covered — this used to leak.
+func wrapped() {
+	//lint:ignore magictimeout fixture: directive above a multi-line call covers the whole expression
+	poll(
+		3 *
+			sim.Second,
+	)
+	run(
+		7 * // want:magictimeout "hard-coded timeout 7s"
+			sim.Second,
+	)
+}

@@ -1,0 +1,86 @@
+// Package mapiterfix exercises the mapiter analyzer: order-sensitive work
+// inside a `range` over a map. The harness loads it under a
+// timerstudy/internal/... import path.
+package mapiterfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"timerstudy/internal/trace"
+)
+
+// histogram is the PR 2 bug shape: per-value bins keyed by timeout value.
+type histogram map[int64]int
+
+// emitBins replays the value-histogram nondeterminism: records leave the
+// loop in map order, so two runs over identical input produce different
+// traces.
+func emitBins(h histogram, sink trace.Sink) {
+	for v, n := range h {
+		for i := 0; i < n; i++ {
+			sink.Log(trace.Record{Timeout: v}) // want:mapiter "trace record emitted while ranging over a map"
+		}
+	}
+}
+
+// printBins leaks map order into rendered output.
+func printBins(h histogram) {
+	var b strings.Builder
+	for v, n := range h {
+		fmt.Println(v, n)                          // want:mapiter "fmt.Println inside a range over a map"
+		b.WriteString(fmt.Sprintf("%d:%d\n", v, n)) // want:mapiter "WriteString while ranging over a map"
+	}
+}
+
+// collectUnsorted appends map keys into an outer slice and never sorts it.
+func collectUnsorted(h histogram) []int64 {
+	var keys []int64
+	for v := range h {
+		keys = append(keys, v) // want:mapiter "while ranging over a map leaks iteration order"
+	}
+	return keys
+}
+
+// collectSorted is the blessed idiom: collect, then visibly sort.
+func collectSorted(h histogram) []int64 {
+	var keys []int64
+	for v := range h {
+		keys = append(keys, v) // clean: sorted after the loop
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// accumulate performs order-insensitive reduction: sums and map writes
+// commute, so iteration order cannot leak.
+func accumulate(h histogram) int {
+	total := 0
+	inverse := map[int]int64{}
+	for v, n := range h {
+		total += n
+		inverse[n] = v
+	}
+	return total + len(inverse)
+}
+
+// loopLocal appends into a slice born inside the iteration; it dies before
+// order can be observed across iterations.
+func loopLocal(h histogram) {
+	for v, n := range h {
+		var parts []int64
+		for i := 0; i < n; i++ {
+			parts = append(parts, v)
+		}
+		_ = parts
+	}
+}
+
+// suppressed documents a deliberate exception with a reasoned directive.
+func suppressed(h histogram, sink trace.Sink) {
+	for v := range h {
+		//lint:ignore mapiter fixture: downstream consumer sorts records by timestamp before comparing
+		sink.Log(trace.Record{Timeout: v})
+	}
+}

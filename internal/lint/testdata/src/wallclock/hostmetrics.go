@@ -1,0 +1,14 @@
+//lint:file-ignore wallclock this file is the fixture for whole-file opt-out: a host-metrics shim measuring real elapsed time by design
+
+// hostmetrics exercises //lint:file-ignore: every violation below is
+// suppressed by the single directive at the top of the file, and the
+// directive itself counts as used (an unused file-ignore is a finding).
+package wall
+
+import "time"
+
+func hostElapsed() time.Duration {
+	start := time.Now() // suppressed by the file-ignore above
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

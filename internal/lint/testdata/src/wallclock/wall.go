@@ -19,5 +19,29 @@ func draw() int {
 	return n + rand.Intn(6)           // want:wallclock "rand.Intn uses the unseeded global source"
 }
 
+func measure() {
+	start := time.Now() // want:wallclock "time.Now reads the host clock"
+	work()
+	_ = time.Since(start)       // want:wallclock "time.Since reads the host clock"
+	_ = time.Until(start)       // want:wallclock "time.Until reads the host clock"
+	<-time.Tick(time.Second)    // want:wallclock "time.Tick reads the host clock"
+	t := time.NewTicker(1)      // want:wallclock "time.NewTicker reads the host clock"
+	t.Stop()                    // method on Ticker: the constructor was the violation
+	tm := time.NewTimer(1)      // want:wallclock "time.NewTimer reads the host clock"
+	_ = tm.Stop()
+}
+
+// seeded builds the classic wall-clock-seeded source: the constructor is on
+// the allow list, but a clock-derived seed still breaks reproducibility.
+func seeded() *rand.Rand {
+	// The line below carries two findings: time.Now itself, plus the
+	// seeding-shape diagnostic on the NewSource call.
+	// want+2:wallclock "time.Now reads the host clock"
+	// want+1:wallclock "rand.NewSource seeded from the host clock"
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+func work() {}
+
 // elapsed uses only time's types and constants, which are pure values.
 func elapsed(d time.Duration) bool { return d > 3*time.Millisecond }

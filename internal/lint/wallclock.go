@@ -44,6 +44,10 @@ func runWallClock(pass *Pass) {
 	}
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkClockSeeding(pass, call)
+				return true
+			}
 			id, ok := n.(*ast.Ident)
 			if !ok {
 				return true
@@ -70,4 +74,72 @@ func runWallClock(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// checkClockSeeding flags rand sources seeded from the host clock — the
+// rand.NewSource(time.Now().UnixNano()) idiom. The constructor itself is on
+// the allow list (an explicit seed is the fix for global-source use), so a
+// clock-derived seed would otherwise pass as "seeded" while still making
+// every run different. Section 2 of the paper measures distributions over
+// repeated runs; those are comparable only under a fixed, recorded seed.
+func checkClockSeeding(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return
+	}
+	switch fn.Name() {
+	case "NewSource", "Seed", "NewPCG", "NewChaCha8":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if readsHostClock(pass, arg) {
+			pass.Report("seeding", call.Pos(),
+				"rand.%s seeded from the host clock makes every run different; use the experiment's fixed, recorded seed",
+				fn.Name())
+			return
+		}
+	}
+}
+
+// readsHostClock reports whether the expression subtree calls into package
+// time (Now and friends — any function there reads or derives from the host
+// clock when used as a seed).
+func readsHostClock(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.Pkg.Info.Uses[id].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() == nil && forbiddenTimeFuncs[fn.Name()] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeFunc resolves a call's callee to its types.Func, if any.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
 }

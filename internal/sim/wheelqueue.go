@@ -82,6 +82,9 @@ func (w *wheelQueue) name() string { return "wheel" }
 
 func (w *wheelQueue) len() int { return w.size }
 
+// push files the event and maintains the cached minimum.
+//
+//lint:allocfree steady-state wheel insert: pointer relinking only, guarded by BenchmarkEngine allocs
 func (w *wheelQueue) push(n *event) {
 	w.size++
 	w.insert(n)
@@ -90,6 +93,9 @@ func (w *wheelQueue) push(n *event) {
 	}
 }
 
+// remove unlinks the event from its bucket's doubly-linked list.
+//
+//lint:allocfree cancel path: unlink only
 func (w *wheelQueue) remove(n *event) {
 	b := n.bucket
 	if n.prev != nil {
@@ -109,11 +115,18 @@ func (w *wheelQueue) remove(n *event) {
 	}
 }
 
+// update re-files an event whose (when, seq) key changed (Reschedule).
+//
+//lint:allocfree reschedule path: remove+push, both allocation-free
 func (w *wheelQueue) update(n *event) {
 	w.remove(n)
 	w.push(n)
 }
 
+// peek returns the earliest pending event, advancing the cursor over empty
+// slots and cascading outer wheels as block boundaries are crossed.
+//
+//lint:allocfree expiry scan: cursor arithmetic and cascades, no allocation
 func (w *wheelQueue) peek() *event {
 	if w.cachedMin != nil {
 		return w.cachedMin
@@ -158,6 +171,9 @@ func (w *wheelQueue) nextOccupied(from int) int {
 	}
 }
 
+// pop dequeues the earliest pending event.
+//
+//lint:allocfree expire path: peek+remove
 func (w *wheelQueue) pop() *event {
 	n := w.peek()
 	w.remove(n)
@@ -168,6 +184,8 @@ func (w *wheelQueue) pop() *event {
 // position. Ticks already behind the cursor (an event scheduled within the
 // tick currently being drained) file at the cursor's own bucket; the sorted
 // list keeps them ordered correctly among its neighbours.
+//
+//lint:allocfree bucket selection is shifts and masks over preallocated wheels
 func (w *wheelQueue) insert(n *event) {
 	tk := uint64(n.when) >> wheelShift
 	if tk < w.cur {
@@ -197,6 +215,8 @@ func (w *wheelQueue) insert(n *event) {
 // cascade pulls the outer-wheel buckets that cover the 256-tick block the
 // cursor just entered down into finer wheels, chaining outward exactly when
 // an outer index wraps to zero — the kernel's cascade chain in run_timers.
+//
+//lint:allocfree cascade re-files existing nodes; the paper's tick-path cost must stay allocation-free here too
 func (w *wheelQueue) cascade() {
 	for level := 0; level < 4; level++ {
 		idx := (w.cur >> (tvrBits + uint(level)*tvnBits)) & (tvnSize - 1)
@@ -211,6 +231,8 @@ func (w *wheelQueue) cascade() {
 // cursor. Re-filing never targets b itself: by the time a bucket is
 // cascaded, every event it holds maps strictly finer (or, for clamped
 // events, to an earlier outer slot), so the loop terminates.
+//
+//lint:allocfree drain relinks nodes between preallocated buckets
 func (w *wheelQueue) drain(b *wheelBucket) {
 	n := b.head
 	b.head, b.tail = nil, nil
@@ -224,6 +246,8 @@ func (w *wheelQueue) drain(b *wheelBucket) {
 
 // insert places n into the sorted list. Probing starts at the tail: seq is
 // monotonic, so the overwhelmingly common insert is an append.
+//
+//lint:allocfree sorted-list splice on intrusive pointers
 func (b *wheelBucket) insert(n *event) {
 	p := b.tail
 	for p != nil && eventLess(n, p) {

@@ -108,6 +108,8 @@ func (s *StreamWriter) Origin(name string) uint32 {
 
 // Log appends one record to the current chunk, flushing the chunk to the
 // underlying writer when full. StreamWriter never drops records.
+//
+//lint:allocfree per-record hot path; chunk capacity is fixed at construction (TestStreamWriterLogZeroAlloc)
 func (s *StreamWriter) Log(r Record) {
 	if int(r.Op) < int(nOps) {
 		s.counters.ByOp[r.Op]++
@@ -120,6 +122,8 @@ func (s *StreamWriter) Log(r Record) {
 }
 
 // flushChunk emits pending origins and the buffered records as frames.
+//
+//lint:allocfree flush reuses the writer's scratch buffer for every frame
 func (s *StreamWriter) flushChunk() {
 	if len(s.chunk) == 0 || s.err != nil {
 		s.chunk = s.chunk[:0]

@@ -161,6 +161,8 @@ func (b *Buffer) Origins() []string {
 
 // Log appends a record, dropping it (but still counting) if the buffer is
 // full — relayfs semantics: old data is never overwritten.
+//
+//lint:allocfree per-record hot path; the capped backing array is preallocated by NewBuffer (TestLogZeroAlloc)
 func (b *Buffer) Log(r Record) {
 	if int(r.Op) < int(nOps) {
 		b.counters.ByOp[r.Op]++

@@ -7,9 +7,10 @@
 #
 # The report records wall-clock per evaluation trace (run + analyze),
 # records/sec of analysis throughput, per-table/figure render time, the
-# fan-out speedup estimate for this host, and v2 stream-codec throughput
-# (encode/decode MB/s and records/sec under "stream"). See EXPERIMENTS.md
-# for how to read it.
+# fan-out speedup estimate for this host, v2 stream-codec throughput
+# (encode/decode MB/s and records/sec under "stream"), and the timerlint
+# self-run cost (load + per-analyzer wall time and finding counts under
+# "lint"). See EXPERIMENTS.md for how to read it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,4 +21,9 @@ if [[ "${FULL:-0}" != "1" ]]; then
 fi
 
 go run ./cmd/experiments "${args[@]}" > /dev/null
+
+# Lint self-run cost: package-load and per-analyzer wall time plus finding
+# counts, merged into the report under its "lint" key. Findings themselves
+# gate check.sh, not the bench; a dirty tree still yields a timing report.
+go run ./cmd/timerlint -bench "$out" ./... > /dev/null || true
 echo "wrote $out"

@@ -35,7 +35,13 @@ go test -run '^$' -fuzz 'FuzzDecodeV2$' -fuzztime=10s ./internal/trace
 echo "== benchmark smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime=1x ./...
 
-echo "== timerlint =="
+echo "== timerlint (full analyzer suite) =="
 go run ./cmd/timerlint ./...
+
+echo "== timerlint allocfree gate (annotated hot paths must have no heap escapes) =="
+# Redundant with the full run above, but asserted separately so an alloc
+# regression on the engine schedule/expire path, the wheel cascade, or the
+# trace encoders fails with an unmistakable step name.
+go run ./cmd/timerlint -run allocfree ./internal/sim ./internal/trace
 
 echo "OK"
