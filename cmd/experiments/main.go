@@ -539,8 +539,9 @@ type benchTotals struct {
 	AllocsPerRecord float64 `json:"allocs_per_record"`
 }
 
-// benchStream reports v2 stream-codec throughput, measured over an
-// in-memory synthetic trace so disk speed doesn't pollute the numbers.
+// benchStream reports v2 stream-codec and analysis throughput, measured
+// over an in-memory synthetic trace so disk speed doesn't pollute the
+// numbers.
 type benchStream struct {
 	Records         int     `json:"records"`
 	Bytes           int     `json:"bytes"`
@@ -550,6 +551,15 @@ type benchStream struct {
 	DecodeMBPerSec  float64 `json:"decode_mb_per_sec"`
 	EncodeRecPerSec float64 `json:"encode_records_per_sec"`
 	DecodeRecPerSec float64 `json:"decode_records_per_sec"`
+	// Analyze throughput runs the full artifact pipeline over the encoded
+	// stream: serial is Pipeline.Run, parallel is Pipeline.RunParallel at
+	// GOMAXPROCS, and the scaling map records MB/s per worker count
+	// (keys "1", "2", ...). Parallel speedup is host-dependent: on a
+	// single-CPU machine parallel equals serial.
+	AnalyzeMBPerSec         float64            `json:"analyze_mb_per_sec"`
+	AnalyzeRecPerSec        float64            `json:"analyze_records_per_sec"`
+	AnalyzeParallelMBPerSec float64            `json:"analyze_parallel_mb_per_sec"`
+	AnalyzeWorkerScaling    map[string]float64 `json:"analyze_worker_mb_per_sec"`
 }
 
 type benchReport struct {
@@ -560,18 +570,27 @@ type benchReport struct {
 	Totals   benchTotals    `json:"totals"`
 }
 
-// streamBench encodes a synthetic trace through StreamWriter and replays it
-// through StreamReader, reporting both directions' throughput.
+// streamBench encodes a synthetic trace through StreamWriter, replays it
+// through StreamReader, and runs the artifact pipeline over it serially and
+// at a worker sweep, reporting throughput for every stage. Origins are
+// interned and the buffer pre-sized before the encode clock starts, so
+// encode_mb_per_sec measures the codec, not fmt.Sprintf or bytes.Buffer
+// regrowth.
 func streamBench() *benchStream {
 	const n = 1 << 21
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench/origin-%d", i)
+	}
 	var buf bytes.Buffer
-	t0 := time.Now()
+	buf.Grow(n*trace.RecordSize + n/64) // records + ample frame/footer headroom
 	sw := trace.NewStreamWriter(&buf)
-	origins := make([]uint32, 64)
-	for i := range origins {
-		origins[i] = sw.Origin(fmt.Sprintf("bench/origin-%d", i))
+	origins := make([]uint32, len(names))
+	for i, name := range names {
+		origins[i] = sw.Origin(name)
 	}
 	r := trace.Record{Op: trace.OpSet, Timeout: int64(10 * sim.Millisecond)}
+	t0 := time.Now()
 	for i := 0; i < n; i++ {
 		r.T = sim.Time(i)
 		r.TimerID = uint64(i % 1024)
@@ -594,16 +613,57 @@ func streamBench() *benchStream {
 	}
 	dec := time.Since(t0)
 
+	// Analysis throughput over the same encoded stream, with the full
+	// artifact configuration the evaluation runs use.
+	sOpts := analysis.DefaultScatterOptions()
+	p := analysis.Pipeline{
+		Values:        analysis.ValueOptions{JiffyBinKernel: true, MinSharePercent: 2},
+		Scatter:       &sOpts,
+		SeriesProcess: "Xorg",
+		OriginMinSets: 50,
+	}
+	analyzePass := func(workers int) time.Duration {
+		sr, err := trace.NewStreamReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			panic(err)
+		}
+		t0 := time.Now()
+		if workers == 0 {
+			_, err = p.Run(sr)
+		} else {
+			_, err = p.RunParallel(sr, workers)
+		}
+		if err != nil {
+			panic(err)
+		}
+		return time.Since(t0)
+	}
 	mb := float64(buf.Len()) / (1 << 20)
+	serial := analyzePass(0)
+	maxWorkers := runtime.GOMAXPROCS(0)
+	parallel := analyzePass(maxWorkers)
+	scaling := map[string]float64{}
+	for _, w := range []int{1, 2, 4, maxWorkers} {
+		key := fmt.Sprintf("%d", w)
+		if _, done := scaling[key]; done {
+			continue
+		}
+		scaling[key] = mb / analyzePass(w).Seconds()
+	}
+
 	return &benchStream{
-		Records:         n,
-		Bytes:           buf.Len(),
-		EncodeMS:        ms(enc),
-		DecodeMS:        ms(dec),
-		EncodeMBPerSec:  mb / enc.Seconds(),
-		DecodeMBPerSec:  mb / dec.Seconds(),
-		EncodeRecPerSec: float64(n) / enc.Seconds(),
-		DecodeRecPerSec: float64(n) / dec.Seconds(),
+		Records:                 n,
+		Bytes:                   buf.Len(),
+		EncodeMS:                ms(enc),
+		DecodeMS:                ms(dec),
+		EncodeMBPerSec:          mb / enc.Seconds(),
+		DecodeMBPerSec:          mb / dec.Seconds(),
+		EncodeRecPerSec:         float64(n) / enc.Seconds(),
+		DecodeRecPerSec:         float64(n) / dec.Seconds(),
+		AnalyzeMBPerSec:         mb / serial.Seconds(),
+		AnalyzeRecPerSec:        float64(n) / serial.Seconds(),
+		AnalyzeParallelMBPerSec: mb / parallel.Seconds(),
+		AnalyzeWorkerScaling:    scaling,
 	}
 }
 

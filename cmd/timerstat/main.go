@@ -11,6 +11,10 @@
 // trace larger than RAM analyses fine; -deps materializes per-timer
 // histories and needs O(trace) memory.
 //
+// The streaming pass decodes and analyses on -j worker goroutines
+// (default: all CPUs); output is byte-identical at any worker count, so
+// -j only changes wall-clock time. Pass -j 1 to force the serial path.
+//
 // Usage:
 //
 //	timerstat -summary -classes -values trace.bin
@@ -42,6 +46,7 @@ func run() int {
 	minSets := flag.Int("min-sets", 20, "origins table: minimum sets per origin")
 	series := flag.String("series", "", "print the set-time/value dot plot for a process (Figure 4)")
 	deps := flag.Bool("deps", false, "infer timer dependency/overlap relations (Section 5.2; needs O(trace) memory)")
+	jobs := flag.Int("j", 0, "analysis worker count (0 = all CPUs, 1 = serial); output is identical at any count")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -89,7 +94,7 @@ func run() int {
 		if err != nil {
 			return nil, err
 		}
-		return p.Run(src)
+		return p.RunParallel(src, *jobs)
 	}()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)

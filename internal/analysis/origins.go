@@ -83,6 +83,23 @@ func (a *originAcc) observeTimer(origin string, class Class) {
 	s.class[class]++
 }
 
+// merge folds another accumulator into a. Same-named origins from different
+// shards combine by plain addition of their value histograms and tallies,
+// so shard merge order cannot influence the finished rows.
+func (a *originAcc) merge(o *originAcc) {
+	for origin, os := range o.byOrigin {
+		s := a.stats(origin)
+		s.sets += os.sets
+		s.timers += os.timers
+		for c := range os.class {
+			s.class[c] += os.class[c]
+		}
+		for v, n := range os.values {
+			s.values[v] += n
+		}
+	}
+}
+
 func (a *originAcc) finish() []OriginRow {
 	rows := make([]OriginRow, 0, len(a.byOrigin))
 	for origin, s := range a.byOrigin {

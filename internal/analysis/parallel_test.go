@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// standardPipeline is the full-artifact configuration the worker-sweep tests
+// analyze under (the same shape cmd/experiments uses).
+func standardPipeline() Pipeline {
+	vFilt := ValueOptions{
+		JiffyBinKernel: true, MinSharePercent: 2,
+		CollapseCountdowns: true, ExcludeProcesses: []string{"Xorg", "icewm"},
+	}
+	vUser := ValueOptions{UserOnly: true, MinSharePercent: 2, CollapseCountdowns: true}
+	sOpts := DefaultScatterOptions()
+	sOpts.ExcludeProcesses = []string{"Xorg", "icewm"}
+	return Pipeline{
+		Values:         ValueOptions{JiffyBinKernel: true, MinSharePercent: 2},
+		ValuesFiltered: &vFilt,
+		ValuesUser:     &vUser,
+		Scatter:        &sOpts,
+		SeriesProcess:  "Xorg",
+		OriginMinSets:  10,
+	}
+}
+
+// wideTrace extends richTrace with a many-timer synthetic tail so shards
+// actually receive work and chunk boundaries fall mid-lifecycle: 512 timers
+// across a few origins, interleaved set/expire/cancel with varied timeouts
+// and processes, plus same-instant armings to exercise the series
+// tie-break.
+func wideTrace() *trace.Buffer {
+	b := richTrace()
+	origins := []string{"kernel/tcp", "firefox/poll", "Xorg/select", "svc/wait"}
+	t0 := sim.Time(0)
+	for i := 0; i < 20_000; i++ {
+		id := uint64(100 + i%512)
+		origin := origins[i%len(origins)]
+		var flags trace.Flags
+		if i%len(origins) != 0 {
+			flags = trace.FlagUser
+		}
+		timeout := sim.Duration(1+i%3) * 100 * sim.Millisecond
+		b.Log(trace.Record{
+			T: t0, Op: trace.OpSet, TimerID: id, Timeout: int64(timeout),
+			Origin: b.Origin(origin), PID: int32(i % 5), Flags: flags,
+		})
+		endOp := trace.OpExpire
+		if i%3 == 0 {
+			endOp = trace.OpCancel
+		}
+		b.Log(trace.Record{
+			T: t0 + sim.Time(timeout), Op: endOp, TimerID: id,
+			Origin: b.Origin(origin), PID: int32(i % 5), Flags: flags,
+		})
+		if i%7 != 0 {
+			t0 += sim.Time(10 * sim.Millisecond) // i%7==0 repeats the instant
+		}
+	}
+	return b
+}
+
+// spillTrace re-logs a Buffer through a StreamWriter with the given chunk
+// size and returns the encoded v2 stream.
+func spillTrace(tb testing.TB, b *trace.Buffer, chunkRecords int) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	sw := trace.NewStreamWriterSize(&buf, chunkRecords)
+	for _, r := range b.Records() {
+		r.Origin = sw.Origin(b.OriginName(r.Origin))
+		sw.Log(r)
+	}
+	if err := sw.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func reportBytes(tb testing.TB, rep *Report) []byte {
+	tb.Helper()
+	out, err := json.Marshal(rep)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
+
+// TestRunParallelMatchesRunAcrossWorkers is the determinism pin for the
+// parallel pipeline: byte-identical reports from Run and from RunParallel at
+// 1, 2, NumCPU and NumCPU×4 workers, over both the in-memory Buffer and a
+// v2 stream.
+func TestRunParallelMatchesRunAcrossWorkers(t *testing.T) {
+	p := standardPipeline()
+	b := wideTrace()
+	data := spillTrace(t, b, 1024) // dozens of chunks
+
+	serial, err := p.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, serial)
+
+	// The stream and the buffer must agree before parallelism enters.
+	sr, err := trace.NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamRep, err := p.Run(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportBytes(t, streamRep); !bytes.Equal(got, want) {
+		t.Fatalf("stream serial report differs from buffer report:\n%s\n%s", got, want)
+	}
+
+	for _, workers := range []int{1, 2, runtime.NumCPU(), runtime.NumCPU() * 4} {
+		t.Run(fmt.Sprintf("buffer/workers=%d", workers), func(t *testing.T) {
+			rep, err := p.RunParallel(b, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+				t.Fatalf("parallel report differs from serial:\n%s\n%s", got, want)
+			}
+		})
+		t.Run(fmt.Sprintf("stream/workers=%d", workers), func(t *testing.T) {
+			sr, err := trace.NewStreamReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := p.RunParallel(sr, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+				t.Fatalf("parallel stream report differs from serial:\n%s\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestRunParallelChunkTorture re-runs the sweep over a stream written with
+// chunkRecords=3: nearly every record chunk straddles an origin frame, and
+// timer lifecycles span many chunks.
+func TestRunParallelChunkTorture(t *testing.T) {
+	p := standardPipeline()
+	b := richTrace()
+	data := spillTrace(t, b, 3)
+
+	serial, err := p.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, serial)
+	for _, workers := range []int{1, 2, runtime.NumCPU(), runtime.NumCPU() * 4} {
+		sr, err := trace.NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.RunParallel(sr, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: torture report differs:\n%s\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestRunParallelPropagatesDecodeErrors: a truncated stream must fail, not
+// return a partial report.
+func TestRunParallelPropagatesDecodeErrors(t *testing.T) {
+	data := spillTrace(t, richTrace(), 16)
+	sr, err := trace.NewStreamReader(bytes.NewReader(data[:len(data)*2/3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := standardPipeline().RunParallel(sr, 4); err == nil {
+		t.Fatal("RunParallel returned a report from a truncated stream")
+	}
+}
+
+// TestShardRecordZeroAlloc is the AllocsPerRun==0 guard on the Pipeline
+// per-record path: once the shard has seen a record mix (timers in the
+// arena, histogram bins warm), replaying records allocates nothing.
+func TestShardRecordZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed under -race")
+	}
+	sOpts := DefaultScatterOptions()
+	p := Pipeline{
+		Values:        ValueOptions{JiffyBinKernel: true, MinSharePercent: 2},
+		Scatter:       &sOpts,
+		OriginMinSets: 1,
+	}
+	sh := p.newShard()
+	origins := []string{"?", "kernel/writeback", "app/select"}
+	recs := make([]trace.Record, 0, 1024)
+	t0 := sim.Time(0)
+	for i := 0; i < 512; i++ {
+		id := uint64(i % 32)
+		timeout := sim.Duration(1+i%3) * 250 * sim.Millisecond
+		var flags trace.Flags
+		if i%2 == 0 {
+			flags = trace.FlagUser
+		}
+		recs = append(recs, trace.Record{
+			T: t0, Op: trace.OpSet, TimerID: id, Timeout: int64(timeout),
+			Origin: uint32(1 + i%2), PID: int32(i % 3), Flags: flags,
+		})
+		t0 += sim.Time(50 * sim.Millisecond)
+		endOp := trace.OpExpire
+		if i%4 == 0 {
+			endOp = trace.OpCancel
+		}
+		recs = append(recs, trace.Record{
+			T: t0, Op: endOp, TimerID: id, Origin: uint32(1 + i%2), PID: int32(i % 3), Flags: flags,
+		})
+	}
+	// Warm-up: arena blocks, byID, cluster set and histogram bins all exist
+	// after one pass; the steady state must then be allocation-free.
+	for _, r := range recs {
+		sh.record(r, origins, nil)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, r := range recs {
+			sh.record(r, origins, nil)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("shard.record allocated %.2f per replay in steady state, want 0", avg)
+	}
+}

@@ -107,6 +107,22 @@ func (a *scatterAcc) addUse(u Use) {
 	}
 }
 
+// merge folds another accumulator over the same options into a; bins add
+// commutatively, and equal keys carry equal representatives, so shard merge
+// order cannot influence the result.
+func (a *scatterAcc) merge(o *scatterAcc) {
+	for k, op := range o.agg {
+		p, ok := a.agg[k]
+		if !ok {
+			cp := *op
+			a.agg[k] = &cp
+			continue
+		}
+		p.Count += op.Count
+		p.Expired += op.Expired
+	}
+}
+
 func (a *scatterAcc) finish() []ScatterPoint {
 	out := make([]ScatterPoint, 0, len(a.agg))
 	for _, p := range a.agg {

@@ -144,6 +144,16 @@ func (a *valueAcc) observe(tl *TimerLife, chains chainProvider) {
 	}
 }
 
+// merge folds another accumulator over the same options into a. Histogram
+// addition is commutative, so shard merge order cannot influence the result
+// (the map-range order visibly cannot either: += into a map).
+func (a *valueAcc) merge(o *valueAcc) {
+	for k, c := range o.counts {
+		a.counts[k] += c
+	}
+	a.total += o.total
+}
+
 // finish applies the share threshold and returns the sorted entries plus the
 // total sample count.
 func (a *valueAcc) finish() ([]ValueEntry, int) {
@@ -266,8 +276,21 @@ func (a *seriesAcc) observe(tl *TimerLife) {
 }
 
 func (a *seriesAcc) finish() []SeriesPoint {
-	sort.Slice(a.pts, func(i, j int) bool { return a.pts[i].T < a.pts[j].T })
+	sortSeries(a.pts)
 	return a.pts
+}
+
+// sortSeries canonically orders Figure 4 points. The V tie-break matters:
+// distinct timers can arm at the same instant, and sort.Slice is unstable,
+// so ordering by T alone would let accumulation order (which differs across
+// shard counts) leak into the finished slice.
+func sortSeries(pts []SeriesPoint) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].T != pts[j].T {
+			return pts[i].T < pts[j].T
+		}
+		return pts[i].V < pts[j].V
+	})
 }
 
 // SetSeries extracts (time, value) points for timers whose origin has the

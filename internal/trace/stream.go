@@ -20,7 +20,7 @@ import (
 //	      appended by earlier frames.
 //	  'R' | u32 count | count × RecordSize bytes
 //	      one chunk of records, same 40-byte layout as v1.
-//	  'C' | ByOp[nOps] u64 | Total u64 | Dropped u64
+//	  'C' | ByOp[nOps] u64 | Total u64 | Dropped u64 | Unknown u64
 //	      the counters footer; exactly once, last. A stream without it is
 //	      truncated, bytes after it are garbage — both decode errors.
 //
@@ -40,7 +40,7 @@ const (
 	DefaultChunkRecords = 1 << 16
 
 	// countersSize is the byte size of the 'C' footer payload.
-	countersSize = (int(nOps) + 2) * 8
+	countersSize = (int(nOps) + 3) * 8
 )
 
 // StreamWriter is a Sink that encodes records into the chunked v2 format as
@@ -56,6 +56,11 @@ type StreamWriter struct {
 	originID map[string]uint32
 	sent     int // origins already emitted in 'O' frames (origin 0 implicit)
 	chunk    []Record
+	// enc is the chunk-sized encode scratch: flushChunk serializes the whole
+	// record chunk into it and hands the underlying writer one big Write
+	// instead of one 40-byte write per record. Allocated lazily at the first
+	// flush, then reused for the writer's lifetime.
+	enc      []byte
 	counters Counters
 	scratch  [RecordSize]byte
 }
@@ -66,11 +71,15 @@ func NewStreamWriter(w io.Writer) *StreamWriter {
 }
 
 // NewStreamWriterSize returns a v2 stream writer flushing record chunks of
-// chunkRecords records (values < 1 mean the default). The header is written
-// immediately.
+// chunkRecords records (values < 1 mean the default; values above the
+// format's maxChunkRecords are clamped so readers accept every chunk the
+// writer can produce). The header is written immediately.
 func NewStreamWriterSize(w io.Writer, chunkRecords int) *StreamWriter {
 	if chunkRecords < 1 {
 		chunkRecords = DefaultChunkRecords
+	}
+	if chunkRecords > maxChunkRecords {
+		chunkRecords = maxChunkRecords
 	}
 	s := &StreamWriter{
 		w:        bufio.NewWriterSize(w, 1<<16),
@@ -107,12 +116,16 @@ func (s *StreamWriter) Origin(name string) uint32 {
 }
 
 // Log appends one record to the current chunk, flushing the chunk to the
-// underlying writer when full. StreamWriter never drops records.
+// underlying writer when full. StreamWriter never drops records. A record
+// whose Op is outside the defined enum tallies under Counters.Unknown (it is
+// still stored), keeping the footer invariant sum(ByOp)+Unknown == Total.
 //
 //lint:allocfree per-record hot path; chunk capacity is fixed at construction (TestStreamWriterLogZeroAlloc)
 func (s *StreamWriter) Log(r Record) {
 	if int(r.Op) < int(nOps) {
 		s.counters.ByOp[r.Op]++
+	} else {
+		s.counters.Unknown++
 	}
 	s.counters.Total++
 	s.chunk = append(s.chunk, r)
@@ -122,10 +135,10 @@ func (s *StreamWriter) Log(r Record) {
 }
 
 // flushChunk emits pending origins and the buffered records as frames.
-//
-//lint:allocfree flush reuses the writer's scratch buffer for every frame
+// Origins interned since the last flush are emitted even when no records are
+// buffered, so a Flush/Close after a trailing Origin call never drops them.
 func (s *StreamWriter) flushChunk() {
-	if len(s.chunk) == 0 || s.err != nil {
+	if s.err != nil {
 		s.chunk = s.chunk[:0]
 		return
 	}
@@ -139,11 +152,19 @@ func (s *StreamWriter) flushChunk() {
 		}
 		s.sent = len(s.origins)
 	}
-	s.frameHeader(frameRecords, uint32(len(s.chunk)))
-	for _, r := range s.chunk {
-		putRecord(s.scratch[:], r)
-		s.write(s.scratch[:])
+	if len(s.chunk) == 0 {
+		return
 	}
+	s.frameHeader(frameRecords, uint32(len(s.chunk)))
+	need := len(s.chunk) * RecordSize
+	if cap(s.enc) < need {
+		s.enc = make([]byte, need)
+	}
+	enc := s.enc[:need]
+	for i, r := range s.chunk {
+		putRecord(enc[i*RecordSize:(i+1)*RecordSize], r)
+	}
+	s.write(enc)
 	s.chunk = s.chunk[:0]
 }
 
@@ -184,6 +205,7 @@ func (s *StreamWriter) Close() error {
 		}
 		le.PutUint64(buf[nOps*8:], s.counters.Total)
 		le.PutUint64(buf[(nOps+1)*8:], s.counters.Dropped)
+		le.PutUint64(buf[(nOps+2)*8:], s.counters.Unknown)
 		s.write(buf[:])
 	}
 	s.setErr(s.w.Flush())
@@ -230,12 +252,25 @@ func newStreamReader(br *bufio.Reader) *StreamReader {
 // validates framing as it goes: a record referencing an origin the string
 // table does not (yet) contain, a missing counters footer, or bytes after
 // the footer are all errors, never panics. ForEach may be called once.
+//
+// Decoding is chunk-at-a-time (the frame walk shared with ForEachChunk), so
+// memory is bounded by one chunk plus the origin table, never the trace.
 func (s *StreamReader) ForEach(fn func(Record)) error {
-	if s.consumed {
-		return fmt.Errorf("trace: stream already consumed; reopen the file for a second pass")
-	}
-	s.consumed = true
-	var buf [RecordSize]byte
+	return s.ForEachChunk(1, func(c Chunk) error {
+		for _, r := range c.Records {
+			fn(r)
+		}
+		return nil
+	})
+}
+
+// walkFrames reads the stream's frames in order. Origin frames extend
+// s.origins in place; each record frame's payload is fetched via getBuf
+// (which returns a buffer of at least need bytes, owned by the caller of
+// walkFrames) and handed to emit together with its record count; the
+// counters footer ends the walk. emit errors abort the walk unchanged.
+func (s *StreamReader) walkFrames(getBuf func(need int) []byte, emit func(raw []byte, count int) error) error {
+	var buf [8]byte
 	le := binary.LittleEndian
 	for {
 		kind, err := s.br.ReadByte()
@@ -273,18 +308,17 @@ func (s *StreamReader) ForEach(fn func(Record)) error {
 				return fmt.Errorf("trace: reading record chunk header: %w", err)
 			}
 			count := le.Uint32(buf[:4])
-			if count > maxReasonable {
+			if count > maxChunkRecords {
+				// Tighter than maxReasonable: the chunk is materialized, so
+				// the bound also caps what a corrupt count can allocate.
 				return fmt.Errorf("trace: implausible record chunk (%d records)", count)
 			}
-			for i := uint32(0); i < count; i++ {
-				if _, err := io.ReadFull(s.br, buf[:]); err != nil {
-					return fmt.Errorf("trace: reading record: %w", err)
-				}
-				r := getRecord(buf[:])
-				if int(r.Origin) >= len(s.origins) {
-					return fmt.Errorf("trace: record origin %d out of range (table has %d)", r.Origin, len(s.origins))
-				}
-				fn(r)
+			raw := getBuf(int(count) * RecordSize)[:int(count)*RecordSize]
+			if _, err := io.ReadFull(s.br, raw); err != nil {
+				return fmt.Errorf("trace: reading record chunk: %w", err)
+			}
+			if err := emit(raw, int(count)); err != nil {
+				return err
 			}
 		case frameCounters:
 			var foot [countersSize]byte
@@ -296,6 +330,7 @@ func (s *StreamReader) ForEach(fn func(Record)) error {
 			}
 			s.counters.Total = le.Uint64(foot[nOps*8:])
 			s.counters.Dropped = le.Uint64(foot[(nOps+1)*8:])
+			s.counters.Unknown = le.Uint64(foot[(nOps+2)*8:])
 			s.footer = true
 			if _, err := s.br.ReadByte(); err == nil {
 				return fmt.Errorf("trace: trailing garbage after counters footer")

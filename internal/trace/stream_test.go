@@ -290,6 +290,122 @@ func TestStreamWriterCloseIdempotent(t *testing.T) {
 	}
 }
 
+// TestStreamWriterTrailingOriginsFlushed pins the origin-flush fix: labels
+// interned after the last logged record (or with no records at all) must
+// still reach the stream on Flush/Close instead of being dropped with the
+// empty record chunk.
+func TestStreamWriterTrailingOriginsFlushed(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriterSize(&buf, 4)
+	sw.Log(Record{T: 1, Op: OpSet, Origin: sw.Origin("early")})
+	lateID := sw.Origin("late/after-last-record")
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.ForEach(func(Record) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.OriginName(lateID); got != "late/after-last-record" {
+		t.Fatalf("trailing origin replayed as %q, want %q", got, "late/after-last-record")
+	}
+
+	// Same with no records at all: an origins-only stream must round-trip.
+	buf.Reset()
+	sw = NewStreamWriter(&buf)
+	only := sw.Origin("only")
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sr, err = NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.ForEach(func(Record) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.OriginName(only); got != "only" {
+		t.Fatalf("origins-only stream replayed origin as %q, want %q", got, "only")
+	}
+}
+
+// TestUnknownOpCounters pins the counter invariant sum(ByOp) + Unknown ==
+// Total for every sink kind, including out-of-range ops (which are stored,
+// not rejected — the analysis layer skips what it does not understand), and
+// its survival through the v2 footer.
+func TestUnknownOpCounters(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+	}{
+		{"all valid", []Op{OpInit, OpSet, OpCancel, OpExpire, OpWait}},
+		{"all unknown", []Op{Op(200), Op(255), nOps}},
+		{"mixed", []Op{OpSet, Op(200), OpExpire, Op(77), OpSet}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			sw := NewStreamWriterSize(&buf, 2)
+			b := NewBuffer(len(tc.ops))
+			for i, op := range tc.ops {
+				r := Record{T: sim.Time(i), Op: op}
+				sw.Log(r)
+				b.Log(r)
+			}
+			if err := sw.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(kind string, c Counters) {
+				t.Helper()
+				var sum uint64
+				for _, n := range c.ByOp {
+					sum += n
+				}
+				if sum+c.Unknown != c.Total {
+					t.Fatalf("%s: sum(ByOp)=%d + Unknown=%d != Total=%d", kind, sum, c.Unknown, c.Total)
+				}
+				if c.Total != uint64(len(tc.ops)) {
+					t.Fatalf("%s: Total=%d, want %d", kind, c.Total, len(tc.ops))
+				}
+			}
+			check("buffer", b.Counters())
+			check("stream writer", sw.Counters())
+			if b.Counters() != sw.Counters() {
+				t.Fatalf("buffer counters %+v != stream counters %+v", b.Counters(), sw.Counters())
+			}
+
+			// The footer must carry Unknown through a decode round trip, and
+			// the stored records must replay intact.
+			sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			if err := sr.ForEach(func(r Record) {
+				if r.Op != tc.ops[n] {
+					t.Fatalf("record %d op = %d, want %d", n, r.Op, tc.ops[n])
+				}
+				n++
+			}); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := sr.Counters()
+			if !ok {
+				t.Fatal("no footer counters after replay")
+			}
+			if got != sw.Counters() {
+				t.Fatalf("footer counters %+v != writer counters %+v", got, sw.Counters())
+			}
+			check("footer", got)
+		})
+	}
+}
+
 // failWriter fails every write after the first n bytes.
 type failWriter struct{ n int }
 

@@ -94,6 +94,11 @@ type Counters struct {
 	ByOp    [nOps]uint64
 	Total   uint64
 	Dropped uint64
+	// Unknown tallies records whose Op is outside the defined enum (possible
+	// only through sink misuse or a decoded trace from a future version).
+	// Every sink maintains the invariant sum(ByOp) + Unknown == Total, which
+	// the v2 footer preserves on disk.
+	Unknown uint64
 }
 
 // Buffer is the trace sink. A Buffer with capacity 0 counts operations but
@@ -166,6 +171,8 @@ func (b *Buffer) Origins() []string {
 func (b *Buffer) Log(r Record) {
 	if int(r.Op) < int(nOps) {
 		b.counters.ByOp[r.Op]++
+	} else {
+		b.counters.Unknown++
 	}
 	b.counters.Total++
 	if len(b.records) >= b.cap {

@@ -7,10 +7,13 @@
 #
 # The report records wall-clock per evaluation trace (run + analyze),
 # records/sec of analysis throughput, per-table/figure render time, the
-# fan-out speedup estimate for this host, v2 stream-codec throughput
-# (encode/decode MB/s and records/sec under "stream"), and the timerlint
+# fan-out speedup estimate for this host, v2 stream-codec and analysis
+# throughput (encode/decode MB/s plus analyze_mb_per_sec,
+# analyze_parallel_mb_per_sec and the per-worker-count
+# analyze_worker_mb_per_sec scaling map under "stream"), and the timerlint
 # self-run cost (load + per-analyzer wall time and finding counts under
-# "lint"). See EXPERIMENTS.md for how to read it.
+# "lint"). Parallel-analyze numbers are host-dependent: on a single-CPU
+# machine parallel equals serial. See EXPERIMENTS.md for how to read it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -22,11 +22,18 @@ echo "== spill-vs-memory determinism golden test =="
 # tables and figures to the in-memory path.
 go test -race -count=2 -run 'TestSpillMatchesMemory' ./cmd/experiments
 
+echo "== serial-vs-parallel analysis determinism golden test =="
+# Pipeline.RunParallel must produce byte-identical reports to Pipeline.Run
+# at every worker count, over buffers and v2 streams, including chunk sizes
+# that straddle origin frames and timer lifecycles.
+go test -race -count=2 -run 'TestRunParallelMatchesRunAcrossWorkers|TestRunParallelChunkTorture|TestParallelForEachMatchesSerial' \
+	./internal/analysis ./internal/trace
+
 echo "== allocation regression (steady-state hot paths must be alloc-free) =="
 # Run WITHOUT -race: the race detector instruments allocations and would
 # make AllocsPerRun report false positives.
-go test -count=1 -run 'TestEngineZeroAllocSteadyState|TestEventAllocsPlateau|TestLogZeroAlloc|TestStreamWriterLogZeroAlloc' \
-	./internal/sim ./internal/trace
+go test -count=1 -run 'TestEngineZeroAllocSteadyState|TestEventAllocsPlateau|TestLogZeroAlloc|TestStreamWriterLogZeroAlloc|TestShardRecordZeroAlloc' \
+	./internal/sim ./internal/trace ./internal/analysis
 
 echo "== codec fuzz smoke (10s per format) =="
 go test -run '^$' -fuzz 'FuzzDecode$' -fuzztime=10s ./internal/trace
@@ -40,8 +47,9 @@ go run ./cmd/timerlint ./...
 
 echo "== timerlint allocfree gate (annotated hot paths must have no heap escapes) =="
 # Redundant with the full run above, but asserted separately so an alloc
-# regression on the engine schedule/expire path, the wheel cascade, or the
-# trace encoders fails with an unmistakable step name.
-go run ./cmd/timerlint -run allocfree ./internal/sim ./internal/trace
+# regression on the engine schedule/expire path, the wheel cascade, the
+# trace encoders, or the analysis per-record fold fails with an
+# unmistakable step name.
+go run ./cmd/timerlint -run allocfree ./internal/sim ./internal/trace ./internal/analysis
 
 echo "OK"
