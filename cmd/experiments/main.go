@@ -53,6 +53,11 @@ var (
 	strictFl  = flag.Bool("strict", false, "exit nonzero if any run dropped trace records")
 	cpuproFl  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memproFl  = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
+
+	fleetFl        = flag.Bool("fleet", false, "run the datacenter fleet scenario instead of the single-host experiments")
+	hostsFl        = flag.Int("hosts", 1024, "fleet: total host count (1/8 webservers, rest desktops)")
+	fleetWorkersFl = flag.Int("fleet-workers", 0, "fleet: parallel host workers (0 = GOMAXPROCS); a workers=1 verification pass runs first when >1")
+	fleetDurFl     = flag.Duration("fleet-duration", 30*time.Second, "fleet: virtual duration")
 )
 
 // artifacts is everything we keep from one workload run after its trace is
@@ -376,6 +381,9 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		return 2
+	}
+	if *fleetFl {
+		return runFleet(queue)
 	}
 	cfg := workloads.Config{Seed: *seedFlag, Duration: dur, Queue: queue}
 	fmt.Printf("timerstudy experiments: %v virtual per trace, seed %d, %s event queue\n", dur, *seedFlag, queue)

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"math"
+	"math/bits"
+
+	"timerstudy/internal/sim"
+)
+
+// logBinner replaces the per-record math.Log10 call in scatter binning with
+// integer comparisons: a bit-scan decade lookup into a precomputed boundary
+// table, then a short linear scan over that decade's bin boundaries.
+//
+// The boundaries are found by binary search over the *original float
+// expression* floor(Log10(d.Seconds()) * binsPerDecade) — not from exact
+// mathematics — so the integer path reproduces the float path bit-for-bit,
+// including its rounding quirks (e.g. Log10(0.001) evaluating to
+// -2.9999999999999996 puts 1 ms in bin -15 at 5 bins/decade, and so does
+// this table). TestLogBinnerMatchesFloat pins the equivalence.
+type logBinner struct {
+	binsPerDecade int
+	// kmin is the bin of the smallest representable timeout (1 ns).
+	kmin int
+	// bounds[i] is the smallest nanosecond value whose bin is kmin+i;
+	// bounds[0] == 1. A value v lands in bin kmin+i where i is the last
+	// index with bounds[i] <= v.
+	bounds []int64
+	// scanFrom[L] indexes into bounds for the first candidate bin of a
+	// value with bit length L, so the per-record scan covers at most one
+	// decade's worth of boundaries (binsPerDecade+2 entries).
+	scanFrom [65]int32
+}
+
+// floatBin is the original per-record computation, kept as the oracle the
+// table is built (and tested) against.
+func floatBin(v int64, binsPerDecade int) int {
+	lx := math.Log10(sim.Duration(v).Seconds())
+	return int(math.Floor(lx * float64(binsPerDecade)))
+}
+
+func newLogBinner(binsPerDecade int) *logBinner {
+	lb := &logBinner{binsPerDecade: binsPerDecade}
+	lb.kmin = floatBin(1, binsPerDecade)
+	kmax := floatBin(math.MaxInt64, binsPerDecade)
+	lb.bounds = make([]int64, 0, kmax-lb.kmin+1)
+	lb.bounds = append(lb.bounds, 1)
+	for k := lb.kmin + 1; k <= kmax; k++ {
+		// Smallest v with floatBin(v) >= k, by binary search. Log10 is
+		// monotone to well under one bin width here, so the search is
+		// sound; the postcondition check below would catch a violation.
+		lo, hi := lb.bounds[len(lb.bounds)-1], int64(math.MaxInt64)
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if floatBin(mid, binsPerDecade) >= k {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if floatBin(lo, binsPerDecade) < k || (lo > 1 && floatBin(lo-1, binsPerDecade) >= k) {
+			panic("analysis: log-bin boundary search lost monotonicity")
+		}
+		lb.bounds = append(lb.bounds, lo)
+	}
+	// scanFrom[L]: bin index of the smallest value with bit length L.
+	i := 0
+	for L := 1; L <= 64; L++ {
+		v := int64(1) << (L - 1)
+		if L == 64 {
+			v = math.MaxInt64
+		}
+		for i+1 < len(lb.bounds) && lb.bounds[i+1] <= v {
+			i++
+		}
+		lb.scanFrom[L] = int32(i)
+	}
+	return lb
+}
+
+// bin returns the scatter x-bin for a timeout of v nanoseconds (v >= 1),
+// identical to floatBin(v) without the Log10.
+//
+//lint:allocfree per-record hot path: one bit scan plus a short table walk
+func (lb *logBinner) bin(v int64) int {
+	i := int(lb.scanFrom[bits.Len64(uint64(v))])
+	for i+1 < len(lb.bounds) && lb.bounds[i+1] <= v {
+		i++
+	}
+	return lb.kmin + i
+}

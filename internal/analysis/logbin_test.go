@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"timerstudy/internal/sim"
+)
+
+// TestLogBinnerMatchesFloat is the golden equivalence proof: the integer
+// binner agrees with the original float expression
+// floor(Log10(timeout.Seconds()) * binsPerDecade) on every probed value —
+// dense low values, every boundary neighborhood, decade edges, random
+// values across the full range, and the extremes.
+func TestLogBinnerMatchesFloat(t *testing.T) {
+	for _, b := range []int{1, 3, 5, 10} {
+		lb := newLogBinner(b)
+		check := func(v int64) {
+			t.Helper()
+			if got, want := lb.bin(v), floatBin(v, b); got != want {
+				t.Fatalf("binsPerDecade=%d v=%dns: integer bin %d, float bin %d", b, v, got, want)
+			}
+		}
+		// Dense sweep over the small end, where float rounding is at its
+		// quirkiest relative to bin width.
+		for v := int64(1); v <= 1_000_000; v += 7 {
+			check(v)
+		}
+		// Every table boundary and its neighborhood.
+		for _, bound := range lb.bounds {
+			for dv := int64(-2); dv <= 2; dv++ {
+				if v := bound + dv; v >= 1 {
+					check(v)
+				}
+			}
+		}
+		// Exact powers of ten and their neighbors (the paper's axis marks),
+		// including the 1 ms value whose Log10 famously rounds down.
+		for p := int64(1); p <= 1e18 && p > 0; p *= 10 {
+			for dv := int64(-1); dv <= 1; dv++ {
+				if v := p + dv; v >= 1 {
+					check(v)
+				}
+			}
+		}
+		// Random values across the full magnitude range.
+		rng := rand.New(rand.NewSource(int64(b)))
+		for i := 0; i < 200_000; i++ {
+			mag := rng.Intn(63)
+			v := int64(1)<<mag | rng.Int63n(int64(1)<<mag)
+			check(v)
+		}
+		check(math.MaxInt64)
+	}
+}
+
+// TestLogBinnerTableShape sanity-checks the table the golden sweep relies
+// on: boundaries strictly increase from 1, the decade index always starts
+// the scan at or before the right bin, and Table 3's human-scale values
+// land where the figures put them.
+func TestLogBinnerTableShape(t *testing.T) {
+	lb := newLogBinner(5)
+	if lb.bounds[0] != 1 {
+		t.Fatalf("bounds[0] = %d, want 1", lb.bounds[0])
+	}
+	for i := 1; i < len(lb.bounds); i++ {
+		if lb.bounds[i] <= lb.bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %d <= %d", i, lb.bounds[i], lb.bounds[i-1])
+		}
+	}
+	// 1 s sits exactly on the decade mark: bin 0. 30 s (the title value)
+	// sits in the bin covering 10^1.4..10^1.6 s: bin 7.
+	if got := lb.bin(int64(sim.Second)); got != 0 {
+		t.Fatalf("1s bin = %d, want 0", got)
+	}
+	if got := lb.bin(int64(30 * sim.Second)); got != 7 {
+		t.Fatalf("30s bin = %d, want 7", got)
+	}
+}
+
+// BenchmarkScatterBin compares the integer path against the float oracle.
+func BenchmarkScatterBin(b *testing.B) {
+	vals := make([]int64, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		mag := rng.Intn(40)
+		vals[i] = int64(1)<<mag | rng.Int63n(int64(1)<<mag)
+	}
+	b.Run("integer", func(b *testing.B) {
+		lb := newLogBinner(5)
+		for i := 0; i < b.N; i++ {
+			_ = lb.bin(vals[i&1023])
+		}
+	})
+	b.Run("float", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = floatBin(vals[i&1023], 5)
+		}
+	})
+}

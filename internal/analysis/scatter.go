@@ -49,6 +49,7 @@ type scatterKey struct {
 type scatterAcc struct {
 	opts ScatterOptions
 	vo   ValueOptions
+	bins *logBinner
 	agg  map[scatterKey]*ScatterPoint
 }
 
@@ -65,6 +66,7 @@ func newScatterAcc(opts ScatterOptions) *scatterAcc {
 	return &scatterAcc{
 		opts: opts,
 		vo:   ValueOptions{ExcludeProcesses: opts.ExcludeProcesses},
+		bins: newLogBinner(opts.LogBinsPerDecade),
 		agg:  make(map[scatterKey]*ScatterPoint),
 	}
 }
@@ -89,8 +91,9 @@ func (a *scatterAcc) addUse(u Use) {
 	if pct > a.opts.CutoffPct {
 		return
 	}
-	lx := math.Log10(u.Timeout.Seconds())
-	xb := int(math.Floor(lx * float64(a.opts.LogBinsPerDecade)))
+	// Integer log-binning: table-driven, byte-identical to the old
+	// per-record Log10 computation (see logBinner).
+	xb := a.bins.bin(int64(u.Timeout))
 	yb := int(math.Floor(pct / a.opts.RatioBinPct))
 	k := scatterKey{xb, yb}
 	p, okk := a.agg[k]

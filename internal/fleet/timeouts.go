@@ -1,0 +1,49 @@
+package fleet
+
+import "timerstudy/internal/sim"
+
+// The fleet's timeout registry (magictimeout): every fixed duration a fleet
+// host arms lives here with its provenance. The datacenter models reuse the
+// paper's single-machine values at scale — the point of the fleet is to
+// show what Table 3's per-box timers look like multiplied by a thousand.
+const (
+	// clientRequestTimeout: the paper's titular 30 s — the connect/response
+	// timeout every networked client in Section 4.1 arms and almost never
+	// uses, here armed once per request by every desktop client thread.
+	clientRequestTimeout = 30 * sim.Second
+	// clientRetransmitTimeout: TCP RTO floor per RFC 6298 lower bound as
+	// shipped in Linux (TCP_RTO_MIN = HZ/5); the Figure 8 retransmit timer
+	// that is set and canceled on every exchange.
+	clientRetransmitTimeout = 200 * sim.Millisecond
+	// clientMaxRetries bounds retransmissions per request, mirroring the
+	// syn-retry default of the era's kernels.
+	clientMaxRetries = 5
+	// clientGiveUpThink: extra back-off after a request deadline expires
+	// before the user "clicks again".
+	clientGiveUpThink = 2 * sim.Second
+	// serverRequestWatchdog: Apache's Timeout directive default-era value
+	// (the 15 s keepalive/request watchdog of the webserver trace), armed
+	// per accepted request and canceled when the response is written.
+	serverRequestWatchdog = 15 * sim.Second
+	// serverSelectTimeout: the accept loop's select timeout; Table 3 shows
+	// Apache's 1 s housekeeping select on the loaded webserver.
+	serverSelectTimeout = sim.Second
+	// defaultThinkMean: mean client think time between requests. Far below
+	// human think time on purpose: one desktop host stands in for the
+	// request rate of a whole office behind it, which is what pushes the
+	// fleet past 10M cumulative timers in a 30 s window.
+	defaultThinkMean = 10 * sim.Millisecond
+	// defaultServiceMean: mean webserver service time per request (in-memory
+	// page, the httperf setup of Section 3.5).
+	defaultServiceMean = 2 * sim.Millisecond
+	// defaultClientThreads: concurrent request loops per desktop host.
+	defaultClientThreads = 2
+	// requestSize: wire bytes of a GET, drives serialization delay.
+	requestSize = 512
+	// responseSize: wire bytes of the small static page of the Section 3.5
+	// httperf setup.
+	responseSize = 8 << 10
+	// serverDiskEvery: one request in this many does disk I/O on the server
+	// (the 4 ms unplug + 30 s IDE pair of Table 3).
+	serverDiskEvery = 8
+)

@@ -21,6 +21,7 @@ const simPkgPath = "timerstudy/internal/sim"
 // object of study, not configuration of ours.
 var magicPoliced = []string{
 	"timerstudy/internal/workloads",
+	"timerstudy/internal/fleet",
 	"timerstudy/examples/",
 	"timerstudy/cmd/",
 }

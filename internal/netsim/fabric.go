@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"sort"
+
+	"timerstudy/internal/sim"
+)
+
+// Fabric is the fleet-scale link matrix: the datacenter's cabling, shared by
+// every simulated host. Unlike Network — which is bound to one engine and
+// mutates per-send state (rng, label cache, delivery counters) — a Fabric
+// holds only link *configuration*, split into two phases:
+//
+//   - build phase (single-threaded): AddHost, SetDefaultPath, SetPath;
+//   - frozen phase (after Freeze): PathFor, RecvLabel, MinLatency, Hosts and
+//     Bandwidth are pure reads over immutable maps, safe to call from any
+//     number of parallel host workers without synchronization.
+//
+// The split is what makes per-window parallel host advance race-free: link
+// lookups happen on worker goroutines inside host callbacks, so any lazily
+// populated cache here would be a data race (TestFabricConcurrentReads pins
+// this under -race, and the goroutinecapture analyzer audits the callers).
+// Delivery labels are therefore interned eagerly at Freeze — one per host,
+// not one per pair, so a 10k-host fabric interns 10k strings, not 100M.
+type Fabric struct {
+	frozen bool
+	def    PathConfig
+	paths  map[pathKey]PathConfig
+	hosts  []string
+	seen   map[string]bool
+	labels map[string]string // host -> interned inbound-delivery event label
+	minLat sim.Duration
+	hasMin bool
+	// bandwidth is the serialization rate in bytes per virtual second
+	// (default 125 MB/s, matching Network).
+	bandwidth int64
+}
+
+const (
+	// defaultFabricLatency: one-way propagation inside a datacenter row
+	// (top-of-rack + aggregation), the lookahead the default fleet gets.
+	defaultFabricLatency = 200 * sim.Microsecond
+	// defaultFabricJitter: switch queueing variance on the same path.
+	defaultFabricJitter = 20 * sim.Microsecond
+)
+
+// NewFabric returns an empty fabric with the datacenter default link: 200 µs
+// one-way, 20 µs jitter, no loss, gigabit serialization.
+func NewFabric() *Fabric {
+	return &Fabric{
+		def:       PathConfig{Latency: defaultFabricLatency, Jitter: defaultFabricJitter},
+		paths:     map[pathKey]PathConfig{},
+		seen:      map[string]bool{},
+		labels:    map[string]string{},
+		bandwidth: 125 << 20,
+	}
+}
+
+// mutable panics after Freeze: the frozen phase is what makes unsynchronized
+// concurrent reads sound, so late mutation is a programming error.
+func (f *Fabric) mutable(op string) {
+	if f.frozen {
+		panic("netsim: Fabric." + op + " after Freeze")
+	}
+}
+
+// AddHost registers a host. Hosts must be registered before Freeze so their
+// delivery labels can be interned eagerly.
+func (f *Fabric) AddHost(name string) {
+	f.mutable("AddHost")
+	if f.seen[name] {
+		return
+	}
+	f.seen[name] = true
+	f.hosts = append(f.hosts, name)
+}
+
+// SetDefaultPath changes the default link behaviour.
+func (f *Fabric) SetDefaultPath(cfg PathConfig) {
+	f.mutable("SetDefaultPath")
+	f.def = cfg
+}
+
+// SetPath overrides the link between two hosts (order-insensitive).
+func (f *Fabric) SetPath(a, b string, cfg PathConfig) {
+	f.mutable("SetPath")
+	f.paths[mkPath(a, b)] = cfg
+}
+
+// SetBandwidth changes the serialization rate (bytes per virtual second);
+// 0 disables serialization delay.
+func (f *Fabric) SetBandwidth(bytesPerSec int64) {
+	f.mutable("SetBandwidth")
+	f.bandwidth = bytesPerSec
+}
+
+// Freeze ends the build phase: it interns the per-host delivery labels,
+// computes the minimum link latency (the fleet's conservative lookahead),
+// and sorts the host list. After Freeze every accessor is a lock-free read.
+func (f *Fabric) Freeze() {
+	f.mutable("Freeze")
+	f.frozen = true
+	sort.Strings(f.hosts)
+	for _, h := range f.hosts {
+		f.labels[h] = "net:recv@" + h
+	}
+	// Lookahead is bounded by the *base* latency of the cheapest link:
+	// jitter and serialization only ever add delay, so every message sent at
+	// time t is delivered at t + MinLatency or later.
+	if len(f.hosts) > 1 {
+		f.minLat = f.def.Latency
+		f.hasMin = true
+	}
+	for _, cfg := range f.paths {
+		if !f.hasMin || cfg.Latency < f.minLat {
+			f.minLat = cfg.Latency
+			f.hasMin = true
+		}
+	}
+}
+
+// Frozen reports whether the build phase has ended.
+func (f *Fabric) Frozen() bool { return f.frozen }
+
+// PathFor returns the config governing traffic between two hosts. Safe for
+// concurrent use after Freeze.
+func (f *Fabric) PathFor(a, b string) PathConfig {
+	if cfg, ok := f.paths[mkPath(a, b)]; ok {
+		return cfg
+	}
+	return f.def
+}
+
+// RecvLabel returns the interned inbound-delivery event label for a host
+// ("net:recv@ws-0001"), or "" for an unregistered host. Safe for concurrent
+// use after Freeze.
+func (f *Fabric) RecvLabel(host string) string { return f.labels[host] }
+
+// MinLatency returns the smallest one-way link latency across the fabric —
+// the conservative lookahead bound. ok is false when the fabric has fewer
+// than two hosts and no explicit paths (no cross-host traffic is possible,
+// so the lookahead is unbounded). Safe for concurrent use after Freeze.
+func (f *Fabric) MinLatency() (sim.Duration, bool) { return f.minLat, f.hasMin }
+
+// Bandwidth returns the serialization rate in bytes per virtual second.
+// Safe for concurrent use after Freeze.
+func (f *Fabric) Bandwidth() int64 { return f.bandwidth }
+
+// Hosts returns the registered host names, sorted. The slice is shared;
+// callers must not mutate it.
+func (f *Fabric) Hosts() []string { return f.hosts }

@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"timerstudy/internal/sim"
+)
+
+func buildTestFabric(hosts int) *Fabric {
+	f := NewFabric()
+	for i := 0; i < hosts; i++ {
+		f.AddHost(fmt.Sprintf("h-%03d", i))
+	}
+	f.SetPath("h-000", "h-001", PathConfig{Latency: 50 * sim.Microsecond})
+	f.SetPath("h-001", "h-002", PathConfig{Latency: 900 * sim.Microsecond, Jitter: 100 * sim.Microsecond})
+	f.Freeze()
+	return f
+}
+
+// TestFabricConcurrentReads is the fleet's concurrency contract: after
+// Freeze, link-delay lookups and label-cache reads happen from every parallel
+// host worker at once. Run under -race (check.sh does), any lazily populated
+// state here shows up as a report.
+func TestFabricConcurrentReads(t *testing.T) {
+	f := buildTestFabric(32)
+	hosts := f.Hosts()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				a := hosts[(i+w)%len(hosts)]
+				b := hosts[(i*7+w*3)%len(hosts)]
+				cfg := f.PathFor(a, b)
+				if cfg.Latency <= 0 {
+					t.Errorf("PathFor(%s,%s) latency %v", a, b, cfg.Latency)
+					return
+				}
+				if f.RecvLabel(a) == "" || f.RecvLabel(b) == "" {
+					t.Errorf("missing recv label for %s or %s", a, b)
+					return
+				}
+				if _, ok := f.MinLatency(); !ok {
+					t.Error("MinLatency not available after Freeze")
+					return
+				}
+				_ = f.Bandwidth()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestFabricMinLatency(t *testing.T) {
+	f := buildTestFabric(4)
+	min, ok := f.MinLatency()
+	if !ok || min != 50*sim.Microsecond {
+		t.Fatalf("MinLatency = %v,%v want 50µs,true (cheapest explicit path)", min, ok)
+	}
+
+	// A single host with no paths has no cross-host traffic: lookahead
+	// unbounded.
+	lone := NewFabric()
+	lone.AddHost("only")
+	lone.Freeze()
+	if _, ok := lone.MinLatency(); ok {
+		t.Fatal("MinLatency reported a bound for a single-host fabric")
+	}
+
+	// A zero-latency link collapses the lookahead to zero (degenerate
+	// lock-step mode in the fleet).
+	z := NewFabric()
+	z.AddHost("a")
+	z.AddHost("b")
+	z.SetPath("a", "b", PathConfig{Latency: 0})
+	z.Freeze()
+	if min, ok := z.MinLatency(); !ok || min != 0 {
+		t.Fatalf("zero-latency fabric MinLatency = %v,%v want 0,true", min, ok)
+	}
+}
+
+func TestFabricFreezeDiscipline(t *testing.T) {
+	f := NewFabric()
+	f.AddHost("a")
+	f.AddHost("a") // duplicate is a no-op
+	f.AddHost("b")
+	f.Freeze()
+	if got := f.Hosts(); len(got) != 2 {
+		t.Fatalf("hosts after duplicate AddHost: %v", got)
+	}
+	if f.RecvLabel("a") != "net:recv@a" {
+		t.Fatalf("RecvLabel(a) = %q", f.RecvLabel("a"))
+	}
+	if f.RecvLabel("ghost") != "" {
+		t.Fatalf("RecvLabel(ghost) = %q, want empty", f.RecvLabel("ghost"))
+	}
+	for name, fn := range map[string]func(){
+		"AddHost":        func() { f.AddHost("c") },
+		"SetPath":        func() { f.SetPath("a", "b", PathConfig{}) },
+		"SetDefaultPath": func() { f.SetDefaultPath(PathConfig{}) },
+		"SetBandwidth":   func() { f.SetBandwidth(1) },
+		"Freeze":         func() { f.Freeze() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s after Freeze did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

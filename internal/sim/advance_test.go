@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+// TestAdvanceUntilBoundary pins the window semantics the fleet engine relies
+// on: an event scheduled exactly at the horizon does not run in the current
+// window, runs in the next one, and keeps FIFO order against a message
+// scheduled at the same instant after the barrier.
+func TestAdvanceUntilBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.At(99, "before", func() { order = append(order, "before") })
+	e.At(100, "at-horizon", func() { order = append(order, "at-horizon") })
+	e.At(101, "after", func() { order = append(order, "after") })
+
+	if n := e.AdvanceUntil(100); n != 1 {
+		t.Fatalf("AdvanceUntil(100) executed %d events, want 1", n)
+	}
+	if len(order) != 1 || order[0] != "before" {
+		t.Fatalf("window 1 ran %v, want [before]", order)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("clock advanced to %v, want 99 (last executed event)", e.Now())
+	}
+
+	// Barrier: a cross-window message lands exactly at the old horizon. It
+	// must be accepted (no past-scheduling panic) and run after the locally
+	// scheduled event at the same instant (FIFO by seq).
+	e.At(100, "msg-at-horizon", func() { order = append(order, "msg-at-horizon") })
+
+	if n := e.AdvanceUntil(101); n != 2 {
+		t.Fatalf("AdvanceUntil(101) executed %d events, want 2", n)
+	}
+	want := []string{"before", "at-horizon", "msg-at-horizon"}
+	if len(order) != len(want) {
+		t.Fatalf("after window 2: ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("after window 2: ran %v, want %v", order, want)
+		}
+	}
+
+	if n := e.AdvanceUntil(200); n != 1 {
+		t.Fatalf("AdvanceUntil(200) executed %d events, want 1", n)
+	}
+	if order[len(order)-1] != "after" {
+		t.Fatalf("final window ran %v", order)
+	}
+}
+
+// TestNextAt covers the idle-window jump the fleet uses.
+func TestNextAt(t *testing.T) {
+	e := NewEngine(1)
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt on empty queue reported an event")
+	}
+	e.At(500, "x", func() {})
+	at, ok := e.NextAt()
+	if !ok || at != 500 {
+		t.Fatalf("NextAt = %v,%v want 500,true", at, ok)
+	}
+	// AdvanceUntil below the event leaves it pending.
+	if n := e.AdvanceUntil(500); n != 0 {
+		t.Fatalf("AdvanceUntil(500) executed %d events, want 0", n)
+	}
+	if at, ok := e.NextAt(); !ok || at != 500 {
+		t.Fatalf("NextAt after no-op window = %v,%v want 500,true", at, ok)
+	}
+}

@@ -358,6 +358,44 @@ func (e *Engine) Run(until Time) {
 	}
 }
 
+// NextAt returns the instant of the earliest pending event. ok is false when
+// the queue is empty. The fleet scheduler uses it to find the next global
+// instant when a conservative window degenerates (zero-latency links).
+func (e *Engine) NextAt() (t Time, ok bool) {
+	if n := e.queue.peek(); n != nil {
+		return n.when, true
+	}
+	return 0, false
+}
+
+// AdvanceUntil runs every pending event strictly before horizon and returns
+// how many executed. It is the bounded-step façade the parallel fleet engine
+// advances hosts with: unlike Run, an event scheduled exactly at the horizon
+// does NOT run — it belongs to the next conservative window, where an inbound
+// cross-host message carrying the same timestamp may still be scheduled ahead
+// of or behind it deterministically. The clock is left at the last executed
+// event (not pushed to the horizon), so the engine accepts new events at any
+// t >= the last execution — in particular at exactly the horizon.
+//
+//lint:allocfree window advance is peek/Step in a loop; both are alloc-free
+func (e *Engine) AdvanceUntil(horizon Time) int {
+	if e.running {
+		panic("sim: AdvanceUntil called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	n := 0
+	for !e.stopped {
+		head := e.queue.peek()
+		if head == nil || head.when >= horizon {
+			break
+		}
+		e.Step()
+		n++
+	}
+	return n
+}
+
 // RunAll drains the queue completely (or until Stop). Intended for tests and
 // terminating workloads; a workload with a self-rearming ticker never drains.
 func (e *Engine) RunAll() {

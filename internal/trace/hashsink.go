@@ -1,0 +1,101 @@
+package trace
+
+// HashSink is a Sink that stores nothing and instead folds every record —
+// and every origin interning, in order — into a running FNV-1a 64 digest.
+// Two simulations produce the same Sum64 iff they would have produced
+// byte-identical Buffer contents (same record bytes in the same order, same
+// origin table in the same intern order), which is exactly the fleet's
+// per-host determinism contract. At 10k hosts a Buffer per host does not fit
+// in memory; a HashSink is 8 bytes of state plus the origin intern map.
+//
+// Like every Sink it maintains full Counters, so overhead accounting and the
+// sum(ByOp)+Unknown == Total invariant survive the switch from Buffer.
+type HashSink struct {
+	h        uint64
+	origins  []string
+	originID map[string]uint32
+	counters Counters
+	scratch  [RecordSize]byte
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+var _ Sink = (*HashSink)(nil)
+
+// NewHashSink returns a digest-only sink. Origin 0 is pre-interned as "?"
+// and folded, mirroring NewBuffer, so a HashSink and a Buffer fed the same
+// operations agree on every origin ID.
+func NewHashSink() *HashSink {
+	s := &HashSink{h: fnvOffset64, originID: make(map[string]uint32)}
+	s.origins = append(s.origins, "?")
+	s.fold([]byte("?"))
+	s.foldU32(0)
+	return s
+}
+
+//lint:allocfree digest fold over caller-owned bytes
+func (s *HashSink) fold(b []byte) {
+	h := s.h
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	s.h = h
+}
+
+//lint:allocfree four fixed byte folds
+func (s *HashSink) foldU32(v uint32) {
+	h := s.h
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= fnvPrime64
+	}
+	s.h = h
+}
+
+// Origin interns an origin label, folding the label bytes and assigned ID
+// into the digest on first intern (re-interning an existing label is a pure
+// lookup, matching Buffer).
+func (s *HashSink) Origin(name string) uint32 {
+	if id, ok := s.originID[name]; ok {
+		return id
+	}
+	id := uint32(len(s.origins))
+	s.origins = append(s.origins, name)
+	s.originID[name] = id
+	s.fold([]byte(name))
+	s.foldU32(id)
+	return id
+}
+
+// OriginName resolves an origin ID; unknown IDs resolve to "?".
+func (s *HashSink) OriginName(id uint32) string {
+	if int(id) < len(s.origins) {
+		return s.origins[id]
+	}
+	return s.origins[0]
+}
+
+// Log folds the record's exact 40-byte encoding into the digest and counts
+// it. Nothing is stored, so nothing is ever dropped.
+//
+//lint:allocfree per-record hot path: putRecord into fixed scratch, then fold
+func (s *HashSink) Log(r Record) {
+	if int(r.Op) < int(nOps) {
+		s.counters.ByOp[r.Op]++
+	} else {
+		s.counters.Unknown++
+	}
+	s.counters.Total++
+	putRecord(s.scratch[:], r)
+	s.fold(s.scratch[:])
+}
+
+// Sum64 returns the digest over everything logged and interned so far.
+func (s *HashSink) Sum64() uint64 { return s.h }
+
+// Counters returns a copy of the operation tallies.
+func (s *HashSink) Counters() Counters { return s.counters }

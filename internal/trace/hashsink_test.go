@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"testing"
+
+	"timerstudy/internal/sim"
+)
+
+func feedSink(s Sink, shift uint64) {
+	tcp := s.Origin("kernel/tcp:retransmit")
+	sel := s.Origin("firefox/select")
+	for i := uint64(0); i < 100; i++ {
+		s.Log(Record{T: sim.Time(1000 + shift + i), TimerID: i, Timeout: 3e9, Origin: tcp, Op: OpSet})
+		if i%3 == 0 {
+			s.Log(Record{T: sim.Time(2000 + shift + i), TimerID: i, PID: 7, Origin: sel, Op: OpCancel, Flags: FlagSatisfied})
+		} else {
+			s.Log(Record{T: sim.Time(2000 + shift + i), TimerID: i, Origin: tcp, Op: OpExpire})
+		}
+	}
+	s.Log(Record{T: 9999, Op: Op(250)}) // out-of-enum op still counted
+}
+
+// TestHashSinkDeterminism pins the property the fleet gate relies on: equal
+// operation streams give equal digests, and any divergence — in record
+// content or in origin intern order — changes the digest.
+func TestHashSinkDeterminism(t *testing.T) {
+	a, b := NewHashSink(), NewHashSink()
+	feedSink(a, 0)
+	feedSink(b, 0)
+	if a.Sum64() != b.Sum64() {
+		t.Fatalf("identical streams digest %x vs %x", a.Sum64(), b.Sum64())
+	}
+	if a.Counters() != b.Counters() {
+		t.Fatalf("identical streams counters %+v vs %+v", a.Counters(), b.Counters())
+	}
+
+	c := NewHashSink()
+	feedSink(c, 1) // shifted timestamps
+	if c.Sum64() == a.Sum64() {
+		t.Fatal("shifted stream produced the same digest")
+	}
+
+	// Same records, different intern order.
+	d, e := NewHashSink(), NewHashSink()
+	x1, y1 := d.Origin("x"), d.Origin("y")
+	y2, x2 := e.Origin("y"), e.Origin("x")
+	if x1 == x2 || y1 == y2 {
+		t.Fatal("intern order did not change IDs")
+	}
+	if d.Sum64() == e.Sum64() {
+		t.Fatal("different intern order produced the same digest")
+	}
+}
+
+// TestHashSinkMatchesBuffer checks HashSink mirrors Buffer's observable
+// contract: origin IDs, resolution, and counters.
+func TestHashSinkMatchesBuffer(t *testing.T) {
+	h, b := NewHashSink(), NewBuffer(DefaultCapacity)
+	names := []string{"a", "b", "a", "c", "b"}
+	for _, n := range names {
+		if hi, bi := h.Origin(n), b.Origin(n); hi != bi {
+			t.Fatalf("Origin(%q): hash sink %d, buffer %d", n, hi, bi)
+		}
+	}
+	if h.OriginName(2) != b.OriginName(2) || h.OriginName(999) != "?" {
+		t.Fatalf("OriginName mismatch: %q vs %q", h.OriginName(2), b.OriginName(2))
+	}
+	feedSink(h, 0)
+	feedSink(b, 0)
+	hc, bc := h.Counters(), b.Counters()
+	if hc != bc {
+		t.Fatalf("counters diverge: hash %+v buffer %+v", hc, bc)
+	}
+	var sum uint64
+	for _, n := range hc.ByOp {
+		sum += n
+	}
+	if sum+hc.Unknown != hc.Total {
+		t.Fatalf("invariant broken: sum(ByOp)=%d unknown=%d total=%d", sum, hc.Unknown, hc.Total)
+	}
+	if hc.Dropped != 0 {
+		t.Fatalf("hash sink reported drops: %+v", hc)
+	}
+}

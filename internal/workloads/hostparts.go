@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"timerstudy/internal/jiffies"
+	"timerstudy/internal/kernel"
+	"timerstudy/internal/sim"
+)
+
+// HostKit is the reusable per-host modeling toolkit: the random-delay
+// helpers, the periodic-kernel-timer and select-loop idioms, and the
+// block-layer timer slabs that every Linux workload model is built from.
+// The single-machine workloads (linuxSystem) delegate here; the fleet's
+// host models (internal/fleet) construct their own kit per simulated host,
+// so a 1k-host datacenter boots 1k instances of the same daemons the
+// paper's single traced box ran.
+//
+// A HostKit is bound to one engine and must only be used from that engine's
+// callbacks (or before the fleet starts) — the same single-threaded
+// discipline as every other per-host object.
+type HostKit struct {
+	Eng *sim.Engine
+	L   *kernel.Linux
+	Rng *rand.Rand
+
+	// Block-layer timer slabs: command and unplug timers live in request
+	// structures that are recycled, so their trace identities recur — the
+	// same reuse that keeps the paper's timer counts at ~100 per trace.
+	idePool    []*jiffies.Timer
+	unplugPool []*jiffies.Timer
+}
+
+// NewHostKit binds a kit to a booted kernel personality. Randomness comes
+// from the engine's own deterministic stream.
+func NewHostKit(eng *sim.Engine, l *kernel.Linux) *HostKit {
+	return &HostKit{Eng: eng, L: l, Rng: eng.Rand()}
+}
+
+// Exp returns an exponentially distributed delay with the given mean,
+// bounded away from zero.
+func (k *HostKit) Exp(mean sim.Duration) sim.Duration {
+	d := sim.Duration(k.Rng.ExpFloat64() * float64(mean))
+	if d < sim.Microsecond {
+		d = sim.Microsecond
+	}
+	return d
+}
+
+// Uniform returns a delay in [lo, hi).
+func (k *HostKit) Uniform(lo, hi sim.Duration) sim.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + sim.Duration(k.Rng.Int63n(int64(hi-lo)))
+}
+
+// Periodic installs a self-re-arming kernel timer — the ClassPeriodic
+// pattern (page-out timer, work queues). The first arming lands at a random
+// phase, reproducing the up-to-2 ms value jitter of Section 3.1.
+func (k *HostKit) Periodic(origin string, period sim.Duration, body func()) *jiffies.Timer {
+	var t *jiffies.Timer
+	t = k.L.KernelTimer(origin, func() {
+		if body != nil {
+			body()
+		}
+		k.L.Base().ModTimeout(t, period)
+	})
+	k.Eng.After(k.Uniform(0, period), origin+":phase", func() {
+		k.L.Base().ModTimeout(t, period)
+	})
+	return t
+}
+
+// SelectLoop runs a daemon's event loop: select with a constant timeout; if
+// activityMean > 0, fd activity completes some selects early and the loop
+// continues with the written-back remainder — the Figure 4 countdown idiom.
+// With activityMean == 0 the select always expires (pure periodic daemon).
+func (k *HostKit) SelectLoop(p *kernel.Process, timeout, activityMean sim.Duration) {
+	var issue func(to sim.Duration)
+	var pending *kernel.Pending
+	issue = func(to sim.Duration) {
+		if to <= 0 {
+			to = timeout
+		}
+		pending = p.Select(to, func(r kernel.SelectResult) {
+			if r.TimedOut || r.Remaining == 0 {
+				// Deadline reached: handle housekeeping, restart at the
+				// programmed constant.
+				issue(timeout)
+				return
+			}
+			// fd activity: service it, re-issue with the remainder.
+			issue(r.Remaining)
+		})
+	}
+	issue(timeout)
+	if activityMean > 0 {
+		var activity func()
+		activity = func() {
+			pending.Complete()
+			k.Eng.After(k.Exp(activityMean), p.Name+":activity", activity)
+		}
+		k.Eng.After(k.Exp(activityMean), p.Name+":activity", activity)
+	}
+}
+
+// DiskIO models one block-layer request: the 4 ms unplug timer (mostly
+// expiring) and the 30 s IDE command timeout (canceled when the command
+// completes) — Table 3's 0.004 s and 30 s rows. Timer structs come from
+// per-purpose slabs and return there, as the kernel's request structures do.
+func (k *HostKit) DiskIO() {
+	ide := k.popTimer(&k.idePool, "kernel/ide:command-timeout")
+	done := false
+	ide.SetCallback(func() { done = true }) // command timeout: request aborts
+	k.L.Base().ModTimeout(ide, ideCommandTimeout)
+	k.Eng.After(k.Uniform(2*sim.Millisecond, 12*sim.Millisecond), "ide:complete", func() {
+		if !done {
+			// Completion vs. timeout race is part of the modeled behavior.
+			_ = k.L.Base().Del(ide)
+		}
+		k.idePool = append(k.idePool, ide)
+	})
+
+	unplug := k.popTimer(&k.unplugPool, "kernel/block:unplug")
+	unplug.SetCallback(func() {
+		k.unplugPool = append(k.unplugPool, unplug)
+	})
+	k.L.Base().ModTimeout(unplug, blockUnplugTimeout)
+}
+
+// popTimer takes a recycled timer from a slab, initializing a fresh one on
+// first use.
+func (k *HostKit) popTimer(pool *[]*jiffies.Timer, origin string) *jiffies.Timer {
+	if n := len(*pool); n > 0 {
+		t := (*pool)[n-1]
+		*pool = (*pool)[:n-1]
+		return t
+	}
+	return k.L.KernelTimer(origin, nil)
+}
+
+// BootKernelDaemons starts the Table 3 periodic kernel-timer family plus
+// write-back (with occasional disk I/O) and the console-blank watchdog.
+func (k *HostKit) BootKernelDaemons() {
+	b := k.L.Base()
+	k.Periodic("kernel/workqueue:timer", workqueueTimerPeriod, nil)
+	k.Periodic("kernel/workqueue:delayed", workqueueDelayedPeriod, nil)
+	k.Periodic("kernel/hres:clocksource-watchdog", clocksourceWatchdogPeriod, nil)
+	k.Periodic("kernel/usb:hcd-poll", usbHcdPollPeriod, nil)
+	k.Periodic("kernel/e1000:watchdog", e1000WatchdogPeriod, nil)
+	k.Periodic("kernel/pktsched:qdisc", qdiscPeriod, nil)
+	k.Periodic("kernel/vm:vmstat-update", vmstatUpdatePeriod, nil)
+	k.Periodic("kernel/mm:slab-reap", slabReapPeriod, nil)
+	// Dirty page write-back occasionally finds work and does disk I/O.
+	k.Periodic("kernel/mm:writeback", writebackInterval, func() {
+		if k.Rng.Intn(4) == 0 {
+			k.DiskIO()
+		}
+	})
+	// Page-out timer.
+	k.Periodic("kernel/mm:page-out", pageOutInterval, nil)
+	// Console blank: a long watchdog; no console input ever arrives in
+	// these workloads, so it expires once (blanks) per 10 minutes of trace.
+	var blank *jiffies.Timer
+	blank = k.L.KernelTimer("kernel/console:blank", func() {
+		b.ModTimeout(blank, consoleBlankTimeout)
+	})
+	b.ModTimeout(blank, consoleBlankTimeout)
+}
+
+// BootUserDaemons starts the stock daemons of the paper's idle description:
+// init's 5 s child poll plus syslogd, cron, atd, inetd and the portmapper,
+// each a pure-expiry select loop on its fixed human-scale timeout.
+func (k *HostKit) BootUserDaemons() {
+	k.SelectLoop(k.L.NewProcess("init"), initPollTimeout, 0)
+	k.SelectLoop(k.L.NewProcess("syslogd"), syslogdPollTimeout, 0)
+	k.SelectLoop(k.L.NewProcess("cron"), cronPollTimeout, 0)
+	k.SelectLoop(k.L.NewProcess("atd"), atdPollTimeout, 0)
+	k.SelectLoop(k.L.NewProcess("inetd"), inetdPollTimeout, 0)
+	k.SelectLoop(k.L.NewProcess("portmap"), portmapPollTimeout, 0)
+}

@@ -23,12 +23,7 @@ type linuxSystem struct {
 	net   *netsim.Network
 	stack *netsim.Stack
 	rng   *rand.Rand
-
-	// Block-layer timer slabs: command and unplug timers live in request
-	// structures that are recycled, so their trace identities recur — the
-	// same reuse that keeps the paper's timer counts at ~100 per trace.
-	idePool    []*jiffies.Timer
-	unplugPool []*jiffies.Timer
+	kit   *HostKit
 }
 
 func newLinuxSystem(cfg Config) *linuxSystem {
@@ -36,156 +31,31 @@ func newLinuxSystem(cfg Config) *linuxSystem {
 	sink, buf := cfg.traceSink()
 	l := kernel.NewLinux(eng, sink)
 	sys := &linuxSystem{cfg: cfg, eng: eng, sink: sink, tr: buf, l: l, rng: eng.Rand()}
+	sys.kit = &HostKit{Eng: eng, L: l, Rng: sys.rng}
 	sys.net = netsim.NewNetwork(eng)
 	sys.stack = netsim.NewStack(sys.net, "testbox", &netsim.LinuxFacility{Base: l.Base()})
 	sys.stack.KeepaliveEnabled = true
-	sys.bootKernelDaemons()
-	sys.bootUserDaemons()
+	sys.kit.BootKernelDaemons()
+	sys.kit.BootUserDaemons()
 	sys.bootLAN()
 	return sys
 }
 
-// exp returns an exponentially distributed delay with the given mean,
-// bounded away from zero.
-func (s *linuxSystem) exp(mean sim.Duration) sim.Duration {
-	d := sim.Duration(s.rng.ExpFloat64() * float64(mean))
-	if d < sim.Microsecond {
-		d = sim.Microsecond
-	}
-	return d
-}
+// The modeling idioms below live in HostKit (hostparts.go) so the fleet's
+// per-host models share them; linuxSystem keeps its historical method names
+// as delegates.
 
-// uniform returns a delay in [lo, hi).
-func (s *linuxSystem) uniform(lo, hi sim.Duration) sim.Duration {
-	if hi <= lo {
-		return lo
-	}
-	return lo + sim.Duration(s.rng.Int63n(int64(hi-lo)))
-}
+func (s *linuxSystem) exp(mean sim.Duration) sim.Duration       { return s.kit.Exp(mean) }
+func (s *linuxSystem) uniform(lo, hi sim.Duration) sim.Duration { return s.kit.Uniform(lo, hi) }
 
-// periodic installs a self-re-arming kernel timer — the ClassPeriodic
-// pattern (page-out timer, work queues). jitter adds call-site arming slack,
-// reproducing the up-to-2 ms value jitter of Section 3.1.
 func (s *linuxSystem) periodic(origin string, period sim.Duration, body func()) *jiffies.Timer {
-	var t *jiffies.Timer
-	t = s.l.KernelTimer(origin, func() {
-		if body != nil {
-			body()
-		}
-		s.l.Base().ModTimeout(t, period)
-	})
-	// First arming at a random phase.
-	s.eng.After(s.uniform(0, period), origin+":phase", func() {
-		s.l.Base().ModTimeout(t, period)
-	})
-	return t
+	return s.kit.Periodic(origin, period, body)
 }
 
-// diskIO models one block-layer request: the 4 ms unplug timer (mostly
-// expiring) and the 30 s IDE command timeout (canceled when the command
-// completes) — Table 3's 0.004 s and 30 s rows. Timer structs come from
-// per-purpose slabs and return there, as the kernel's request structures do.
-func (s *linuxSystem) diskIO() {
-	ide := s.popTimer(&s.idePool, "kernel/ide:command-timeout")
-	done := false
-	ide.SetCallback(func() { done = true }) // command timeout: request aborts
-	s.l.Base().ModTimeout(ide, ideCommandTimeout)
-	s.eng.After(s.uniform(2*sim.Millisecond, 12*sim.Millisecond), "ide:complete", func() {
-		if !done {
-			// Completion vs. timeout race is part of the modeled behavior.
-			_ = s.l.Base().Del(ide)
-		}
-		s.idePool = append(s.idePool, ide)
-	})
+func (s *linuxSystem) diskIO() { s.kit.DiskIO() }
 
-	unplug := s.popTimer(&s.unplugPool, "kernel/block:unplug")
-	unplug.SetCallback(func() {
-		s.unplugPool = append(s.unplugPool, unplug)
-	})
-	s.l.Base().ModTimeout(unplug, blockUnplugTimeout)
-}
-
-// popTimer takes a recycled timer from a slab, initializing a fresh one on
-// first use.
-func (s *linuxSystem) popTimer(pool *[]*jiffies.Timer, origin string) *jiffies.Timer {
-	if n := len(*pool); n > 0 {
-		t := (*pool)[n-1]
-		*pool = (*pool)[:n-1]
-		return t
-	}
-	return s.l.KernelTimer(origin, nil)
-}
-
-func (s *linuxSystem) bootKernelDaemons() {
-	b := s.l.Base()
-	// The Table 3 periodic family.
-	s.periodic("kernel/workqueue:timer", workqueueTimerPeriod, nil)
-	s.periodic("kernel/workqueue:delayed", workqueueDelayedPeriod, nil)
-	s.periodic("kernel/hres:clocksource-watchdog", clocksourceWatchdogPeriod, nil)
-	s.periodic("kernel/usb:hcd-poll", usbHcdPollPeriod, nil)
-	s.periodic("kernel/e1000:watchdog", e1000WatchdogPeriod, nil)
-	s.periodic("kernel/pktsched:qdisc", qdiscPeriod, nil)
-	s.periodic("kernel/vm:vmstat-update", vmstatUpdatePeriod, nil)
-	s.periodic("kernel/mm:slab-reap", slabReapPeriod, nil)
-	// Dirty page write-back occasionally finds work and does disk I/O.
-	s.periodic("kernel/mm:writeback", writebackInterval, func() {
-		if s.rng.Intn(4) == 0 {
-			s.diskIO()
-		}
-	})
-	// Page-out timer.
-	s.periodic("kernel/mm:page-out", pageOutInterval, nil)
-	// Console blank: a long watchdog; no console input ever arrives in
-	// these workloads, so it expires once (blanks) per 10 minutes of trace.
-	var blank *jiffies.Timer
-	blank = s.l.KernelTimer("kernel/console:blank", func() {
-		b.ModTimeout(blank, consoleBlankTimeout)
-	})
-	b.ModTimeout(blank, consoleBlankTimeout)
-}
-
-func (s *linuxSystem) bootUserDaemons() {
-	// init polls its children every 5 s (Table 3).
-	s.selectLoop(s.l.NewProcess("init"), initPollTimeout, 0)
-	// Stock daemons wake rarely on fixed human values.
-	s.selectLoop(s.l.NewProcess("syslogd"), syslogdPollTimeout, 0)
-	s.selectLoop(s.l.NewProcess("cron"), cronPollTimeout, 0)
-	s.selectLoop(s.l.NewProcess("atd"), atdPollTimeout, 0)
-	s.selectLoop(s.l.NewProcess("inetd"), inetdPollTimeout, 0)
-	s.selectLoop(s.l.NewProcess("portmap"), portmapPollTimeout, 0)
-}
-
-// selectLoop runs a daemon's event loop: select with a constant timeout; if
-// activityMean > 0, fd activity completes some selects early and the loop
-// continues with the written-back remainder — the Figure 4 countdown idiom.
-// With activityMean == 0 the select always expires (pure periodic daemon).
-func (s *linuxSystem) selectLoop(p *kernel.Process, timeout sim.Duration, activityMean sim.Duration) {
-	var issue func(to sim.Duration)
-	var pending *kernel.Pending
-	issue = func(to sim.Duration) {
-		if to <= 0 {
-			to = timeout
-		}
-		pending = p.Select(to, func(r kernel.SelectResult) {
-			if r.TimedOut || r.Remaining == 0 {
-				// Deadline reached: handle housekeeping, restart at the
-				// programmed constant.
-				issue(timeout)
-				return
-			}
-			// fd activity: service it, re-issue with the remainder.
-			issue(r.Remaining)
-		})
-	}
-	issue(timeout)
-	if activityMean > 0 {
-		var activity func()
-		activity = func() {
-			pending.Complete()
-			s.eng.After(s.exp(activityMean), p.Name+":activity", activity)
-		}
-		s.eng.After(s.exp(activityMean), p.Name+":activity", activity)
-	}
+func (s *linuxSystem) selectLoop(p *kernel.Process, timeout, activityMean sim.Duration) {
+	s.kit.SelectLoop(p, timeout, activityMean)
 }
 
 // bootLAN attaches phantom LAN neighbours whose broadcast chatter keeps the

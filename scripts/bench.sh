@@ -4,6 +4,7 @@
 #   scripts/bench.sh                          # writes BENCH_experiments.json (quick traces)
 #   scripts/bench.sh out.json                 # custom output path
 #   FULL=1 scripts/bench.sh                   # the paper's full 30-minute traces
+#   FLEET_HOSTS=1024 scripts/bench.sh         # bigger -fleet pass (default 64 hosts)
 #
 # The report records wall-clock per evaluation trace (run + analyze),
 # records/sec of analysis throughput, per-table/figure render time, the
@@ -24,6 +25,15 @@ if [[ "${FULL:-0}" != "1" ]]; then
 fi
 
 go run ./cmd/experiments "${args[@]}" > /dev/null
+
+# Fleet scenario: hosts, cumulative timers, events/sec, wall ms and
+# speedup_vs_workers, merged under the "fleet" key. The run itself enforces
+# digest equality between its workers=1 and workers=N passes (exit 1 on
+# divergence), so a bench regeneration doubles as a determinism check.
+# Default is a 64-host, 5 s pass so bench.sh stays fast; FLEET_HOSTS=1024
+# FLEET_DURATION=30s reproduces the full datacenter scenario.
+go run ./cmd/experiments -fleet -hosts "${FLEET_HOSTS:-64}" \
+	-fleet-duration "${FLEET_DURATION:-5s}" -bench "$out" > /dev/null
 
 # Lint self-run cost: package-load and per-analyzer wall time plus finding
 # counts, merged into the report under its "lint" key. Findings themselves

@@ -52,4 +52,25 @@ echo "== timerlint allocfree gate (annotated hot paths must have no heap escapes
 # unmistakable step name.
 go run ./cmd/timerlint -run allocfree ./internal/sim ./internal/trace ./internal/analysis
 
+echo "== timerlint fleet gates (alloc-free window advance, no shared-state captures) =="
+# The fleet's worker-pool closures and the netsim fabric they read are the
+# two places a shared-state capture would silently break byte-identical
+# traces; goroutinecapture audits them, allocfree covers the per-window
+# advance path.
+go run ./cmd/timerlint -run allocfree,goroutinecapture ./internal/fleet ./internal/netsim
+
+echo "== fleet serial-vs-parallel determinism gate (64 hosts) =="
+# Two separate processes — workers=1 and workers=4 — must print identical
+# fleet digests: per-host traces byte-identical regardless of worker count.
+# (Each multi-worker run also self-checks in-process; this gate additionally
+# pins serial-only against parallel across process boundaries.)
+fleet_args=(-fleet -hosts 64 -fleet-duration 2s)
+d1="$(go run ./cmd/experiments "${fleet_args[@]}" -fleet-workers 1 | grep '^fleet digest:' | cut -d' ' -f3)"
+d4="$(go run ./cmd/experiments "${fleet_args[@]}" -fleet-workers 4 | grep '^fleet digest:' | cut -d' ' -f3)"
+if [[ -z "$d1" || "$d1" != "$d4" ]]; then
+	echo "FLEET NONDETERMINISM: workers=1 digest '$d1' != workers=4 digest '$d4'" >&2
+	exit 1
+fi
+echo "fleet digest $d1 identical at workers=1 and workers=4"
+
 echo "OK"
