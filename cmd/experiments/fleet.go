@@ -80,11 +80,30 @@ func runFleet(queue sim.QueueKind) int {
 	fmt.Printf("fleet: %d hosts (%d webservers, %d desktops), %v virtual, seed %d, %s queue\n",
 		hosts, ws, pc, dur, *seedFlag, queue)
 
-	stats, digest, sets, records, wallSerial := fleetPass(top, end, 1)
+	// -emit streams each host's trace to the live service, teed with the
+	// digest HashSink, on the final pass only (two emitting passes would
+	// collide on stream names).
+	var emitClose func()
+	serialTop := top
+	if *emitFl != "" && workers <= 1 {
+		serialTop.NewSink, emitClose = fleetEmitSinks(*emitFl)
+	}
+	stats, digest, sets, records, wallSerial := fleetPass(serialTop, end, 1)
+	if emitClose != nil {
+		emitClose()
+	}
 	wallParallel := wallSerial
 	deterministic := true
 	if workers > 1 {
-		pstats, pdigest, _, _, pw := fleetPass(top, end, workers)
+		ptop := top
+		emitClose = nil
+		if *emitFl != "" {
+			ptop.NewSink, emitClose = fleetEmitSinks(*emitFl)
+		}
+		pstats, pdigest, _, _, pw := fleetPass(ptop, end, workers)
+		if emitClose != nil {
+			emitClose()
+		}
 		wallParallel = pw
 		deterministic = pdigest == digest && pstats == stats
 		if !deterministic {
@@ -133,6 +152,30 @@ func runFleet(queue sim.QueueKind) int {
 		return 1
 	}
 	return 0
+}
+
+// fleetEmitSinks returns a Topology.NewSink that tees each host's digest
+// HashSink with an HTTPSink streaming to the live service, plus a closer
+// that flushes every stream's counters footer after the run.
+func fleetEmitSinks(url string) (func(string) trace.Sink, func()) {
+	var sinks []*trace.HTTPSink
+	newSink := func(host string) trace.Sink {
+		hs, err := trace.NewHTTPSink(url, "fleet-"+host, trace.HTTPSinkOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -emit %s: %v\n", host, err)
+			return trace.NewHashSink()
+		}
+		sinks = append(sinks, hs)
+		return trace.Tee(trace.NewHashSink(), hs)
+	}
+	closeAll := func() {
+		for _, hs := range sinks {
+			if err := hs.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -emit: %v\n", err)
+			}
+		}
+	}
+	return newSink, closeAll
 }
 
 // mergeFleetBench sets the "fleet" key in a benchmark JSON report (created

@@ -39,6 +39,7 @@ import (
 	"timerstudy/internal/sim"
 	"timerstudy/internal/softtimer"
 	"timerstudy/internal/trace"
+	"timerstudy/internal/version"
 	"timerstudy/internal/workloads"
 )
 
@@ -116,8 +117,15 @@ func analyze(res *workloads.Result, src trace.Source) (artifacts, error) {
 // is never built) and replay from disk, so peak memory is bounded by live
 // timers, not trace length; the file is removed before returning.
 func runSpec(spec workloads.Spec, spill bool, reduce func(res *workloads.Result, src trace.Source) error) (*workloads.Result, error) {
+	emit := *emitFl
+	stream := fmt.Sprintf("%s-%s", spec.OS, spec.Name)
 	if !spill {
 		res := spec.Run()
+		if emit != "" {
+			// Replay the in-memory trace to the live service; export is
+			// best-effort and never fails the experiment.
+			emitTrace(emit, stream, res.Trace)
+		}
 		return res, reduce(res, res.Trace)
 	}
 	f, err := os.CreateTemp("", "timerstudy-spill-*.trace")
@@ -130,7 +138,23 @@ func runSpec(spec workloads.Spec, spill bool, reduce func(res *workloads.Result,
 	}()
 	sw := trace.NewStreamWriter(f)
 	spec.Cfg.Sink = sw
+	var hs *trace.HTTPSink
+	if emit != "" {
+		// Single pass: tee the spill stream to the live service while the
+		// simulation writes it.
+		if hs, err = trace.NewHTTPSink(emit, stream, trace.HTTPSinkOptions{}); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -emit %s: %v\n", stream, err)
+			hs = nil
+		} else {
+			spec.Cfg.Sink = trace.Tee(sw, hs)
+		}
+	}
 	res := spec.Run()
+	if hs != nil {
+		if err := hs.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -emit %s: %v\n", stream, err)
+		}
+	}
 	if err := sw.Close(); err != nil {
 		return nil, fmt.Errorf("spill encode: %w", err)
 	}
@@ -373,6 +397,10 @@ func main() {
 // run is main minus os.Exit, so the pprof writers below always flush.
 func run() int {
 	flag.Parse()
+	if *versionFl {
+		fmt.Println(version.String())
+		return 0
+	}
 	dur := sim.FromStd(*durFlag)
 	if *quick {
 		dur = 2 * sim.Minute
@@ -381,6 +409,9 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		return 2
+	}
+	if *serveBenchFl {
+		return runServeBench(queue)
 	}
 	if *fleetFl {
 		return runFleet(queue)

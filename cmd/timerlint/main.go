@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"timerstudy/internal/lint"
+	"timerstudy/internal/version"
 )
 
 func main() {
@@ -47,11 +48,16 @@ func main() {
 	baseline := flag.String("baseline", "", "drop findings recorded in this baseline file")
 	writeBaseline := flag.String("write-baseline", "", "record current findings as the accepted-debt baseline and exit 0")
 	benchOut := flag.String("bench", "", "merge load/analyzer timing stats into this benchmark JSON file under the \"lint\" key")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: timerlint [flags] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		os.Exit(0)
+	}
 	if *jsonOut {
 		*format = "json"
 	}

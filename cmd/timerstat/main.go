@@ -15,21 +15,41 @@
 // (default: all CPUs); output is byte-identical at any worker count, so
 // -j only changes wall-clock time. Pass -j 1 to force the serial path.
 //
+// Several trace files analyse as one logical trace: each file becomes an
+// incremental partial merged in sorted file-name order, so the report is
+// byte-identical to analysing the concatenation (the same contract the
+// live service keeps; see internal/serve).
+//
+// -serve runs the live trace service instead of an offline analysis: an
+// HTTP endpoint ingesting streams from timertrace/experiments producers
+// (trace.HTTPSink) with a JSON API and embedded dashboard. The analysis
+// flags configure the service's pipeline, so a quiesced server's
+// /api/summary matches `timerstat -json -summary` over the same streams.
+//
 // Usage:
 //
 //	timerstat -summary -classes -values trace.bin
 //	timerstat -values -user-only -collapse -exclude Xorg,icewm trace.bin
 //	timerstat -scatter -origins -series Xorg trace.bin
+//	timerstat -summary host-*.trace
+//	timerstat -json -summary trace.bin
+//	timerstat -serve 127.0.0.1:8080
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 
 	"timerstudy/internal/analysis"
+	"timerstudy/internal/serve"
 	"timerstudy/internal/trace"
+	"timerstudy/internal/version"
 )
 
 func run() int {
@@ -47,18 +67,15 @@ func run() int {
 	series := flag.String("series", "", "print the set-time/value dot plot for a process (Figure 4)")
 	deps := flag.Bool("deps", false, "infer timer dependency/overlap relations (Section 5.2; needs O(trace) memory)")
 	jobs := flag.Int("j", 0, "analysis worker count (0 = all CPUs, 1 = serial); output is identical at any count")
+	jsonOut := flag.Bool("json", false, "emit canonical JSON (one of -summary, -values, -origins); byte-identical to the live service's API")
+	serveAddr := flag.String("serve", "", "run the live trace service on this address instead of analysing a file")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: timerstat [flags] trace-file")
-		flag.PrintDefaults()
-		return 2
+	if *showVersion {
+		fmt.Println(version.String())
+		return 0
 	}
-	if !*summary && !*classes && !*values && !*scatter && !*origins && *series == "" && !*deps {
-		fmt.Fprintln(os.Stderr, "timerstat: nothing to do; pass -summary, -classes, -values, -scatter, -origins, -series or -deps")
-		return 2
-	}
-	path := flag.Arg(0)
 	var excl []string
 	if *exclude != "" {
 		excl = strings.Split(*exclude, ",")
@@ -84,21 +101,32 @@ func run() int {
 	if *origins {
 		p.OriginMinSets = *minSets
 	}
-	rep, err := func() (*analysis.Report, error) {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		src, err := trace.Open(f)
-		if err != nil {
-			return nil, err
-		}
-		return p.RunParallel(src, *jobs)
-	}()
+
+	if *serveAddr != "" {
+		return runServe(*serveAddr, p)
+	}
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: timerstat [flags] trace-file...")
+		flag.PrintDefaults()
+		return 2
+	}
+	if !*summary && !*classes && !*values && !*scatter && !*origins && *series == "" && !*deps {
+		fmt.Fprintln(os.Stderr, "timerstat: nothing to do; pass -summary, -classes, -values, -scatter, -origins, -series or -deps")
+		return 2
+	}
+	path := flag.Arg(0)
+	if *deps && flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "timerstat: -deps analyses a single trace file")
+		return 2
+	}
+	rep, err := analyze(p, flag.Args(), *jobs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
 		return 1
+	}
+
+	if *jsonOut {
+		return writeJSON(rep, *summary, *values, *origins)
 	}
 
 	if *summary {
@@ -148,6 +176,92 @@ func run() int {
 		f.Close()
 		fmt.Println("Inferred timer relations (Section 5.2):")
 		fmt.Print(analysis.RenderRelations(analysis.InferRelations(ls, analysis.InferOptions{})))
+	}
+	return 0
+}
+
+// analyze runs the pipeline over the given trace files: one file goes
+// through the parallel single-trace path; several files become incremental
+// partials merged in sorted file-name order, byte-identical to analysing
+// their concatenation.
+func analyze(p analysis.Pipeline, paths []string, jobs int) (*analysis.Report, error) {
+	if len(paths) == 1 {
+		f, err := os.Open(paths[0])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		src, err := trace.Open(f)
+		if err != nil {
+			return nil, err
+		}
+		return p.RunParallel(src, jobs)
+	}
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	parts := make([]*analysis.Partial, 0, len(sorted))
+	for _, path := range sorted {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		src, err := trace.Open(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		pa := p.NewPartial()
+		err = pa.AddSource(src)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		parts = append(parts, pa)
+	}
+	return p.MergePartials(parts), nil
+}
+
+// writeJSON emits exactly one canonical JSON section — the same bytes the
+// live service serves for the equivalent endpoint, which is what the CI
+// loopback gate diffs.
+func writeJSON(rep *analysis.Report, summary, values, origins bool) int {
+	n := 0
+	for _, b := range []bool{summary, values, origins} {
+		if b {
+			n++
+		}
+	}
+	if n != 1 {
+		fmt.Fprintln(os.Stderr, "timerstat: -json wants exactly one of -summary, -values, -origins")
+		return 2
+	}
+	switch {
+	case summary:
+		os.Stdout.Write(rep.SummaryJSON())
+	case values:
+		os.Stdout.Write(rep.HistogramsJSON())
+	case origins:
+		os.Stdout.Write(rep.OriginsJSON())
+	}
+	return 0
+}
+
+// runServe runs the live trace service until the process is killed. The
+// listen line goes to stdout in a fixed format so scripts (scripts/check.sh)
+// can scrape the bound address when given port 0.
+func runServe(addr string, p analysis.Pipeline) int {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
+		return 1
+	}
+	v := version.String()
+	log.Printf("timerstat -serve %s", v)
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+	srv := serve.New(serve.Options{Pipeline: p, Version: v})
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
+		return 1
 	}
 	return 0
 }

@@ -26,6 +26,7 @@ import (
 	"timerstudy/internal/analysis"
 	"timerstudy/internal/sim"
 	"timerstudy/internal/trace"
+	"timerstudy/internal/version"
 	"timerstudy/internal/workloads"
 )
 
@@ -36,7 +37,15 @@ func run() int {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	stream := flag.Bool("stream", false, "stream records to the output in the v2 format during the run (bounded memory)")
 	out := flag.String("o", "", "output trace file (default <os>-<workload>.trace)")
+	emit := flag.String("emit", "", "also stream the trace to a live timerstat -serve service at this base URL")
+	emitStream := flag.String("emit-stream", "", "stream name for -emit (default <os>-<workload>)")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return 0
+	}
 
 	cfg := workloads.Config{Seed: *seed, Duration: sim.FromStd(*duration)}
 	path := *out
@@ -44,8 +53,14 @@ func run() int {
 		path = fmt.Sprintf("%s-%s.trace", *osName, *workload)
 	}
 
+	streamName := *emitStream
+	if streamName == "" {
+		streamName = fmt.Sprintf("%s-%s", *osName, *workload)
+	}
+
 	var f *os.File
 	var sw *trace.StreamWriter
+	var hs *trace.HTTPSink
 	if *stream {
 		var err error
 		f, err = os.Create(path)
@@ -55,6 +70,16 @@ func run() int {
 		}
 		sw = trace.NewStreamWriter(f)
 		cfg.Sink = sw
+		if *emit != "" {
+			// Single pass: tee the v2 stream to the live service while the
+			// simulation writes the file.
+			hs, err = trace.NewHTTPSink(*emit, streamName, trace.HTTPSinkOptions{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "timertrace: -emit: %v\n", err)
+				return 1
+			}
+			cfg.Sink = trace.Tee(sw, hs)
+		}
 	}
 
 	var res *workloads.Result
@@ -69,6 +94,12 @@ func run() int {
 	}
 
 	if *stream {
+		if hs != nil {
+			if err := hs.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "timertrace: -emit: %v\n", err)
+				return 1
+			}
+		}
 		if err := sw.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "timertrace: writing %s: %v\n", path, err)
 			return 1
@@ -89,6 +120,24 @@ func run() int {
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "timertrace: closing %s: %v\n", path, err)
+			return 1
+		}
+	}
+
+	if *emit != "" && !*stream {
+		// Buffered run: replay the in-memory records to the live service.
+		hs, err := trace.NewHTTPSink(*emit, streamName, trace.HTTPSinkOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "timertrace: -emit: %v\n", err)
+			return 1
+		}
+		b := res.Trace
+		for _, r := range b.Records() {
+			r.Origin = hs.Origin(b.OriginName(r.Origin))
+			hs.Log(r)
+		}
+		if err := hs.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "timertrace: -emit: %v\n", err)
 			return 1
 		}
 	}

@@ -1,0 +1,126 @@
+package analysis
+
+import "encoding/json"
+
+// Canonical JSON renderings of a Report's sections. The live trace service
+// and offline `timerstat -json` both call these, so "the quiesced server's
+// /api/summary equals offline output" is byte-identity by construction:
+// there is exactly one serializer per section. Field order is fixed by the
+// struct declarations, durations render as integer nanoseconds (no float
+// formatting ambiguity), and every slice is already canonically sorted by
+// the pipeline's finish step.
+
+type summaryJSON struct {
+	Timers          int         `json:"timers"`
+	ClusteredTimers int         `json:"clustered_timers"`
+	Concurrency     int         `json:"concurrency"`
+	Accesses        uint64      `json:"accesses"`
+	UserSpace       uint64      `json:"user_space"`
+	Kernel          uint64      `json:"kernel"`
+	Set             uint64      `json:"set"`
+	Expired         uint64      `json:"expired"`
+	Canceled        uint64      `json:"canceled"`
+	EndNS           int64       `json:"end_ns"`
+	ClassTotal      int         `json:"class_total"`
+	Classes         []classJSON `json:"classes"`
+}
+
+type classJSON struct {
+	Class string `json:"class"`
+	Count int    `json:"count"`
+}
+
+type histogramJSON struct {
+	Total   int             `json:"total"`
+	Entries []histEntryJSON `json:"entries"`
+}
+
+type histEntryJSON struct {
+	ValueNS int64   `json:"value_ns"`
+	Jiffies uint64  `json:"jiffies"`
+	Count   int     `json:"count"`
+	Share   float64 `json:"share"`
+}
+
+type originJSON struct {
+	ValueNS int64  `json:"value_ns"`
+	Origin  string `json:"origin"`
+	Class   string `json:"class"`
+	Sets    int    `json:"sets"`
+	Timers  int    `json:"timers"`
+}
+
+// mustJSON marshals a value composed purely of marshalable fields; failure
+// is a programming error, never data-dependent.
+func mustJSON(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		panic("analysis: json render: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// SummaryJSON renders the Table 1/2 summary plus the Figure 2 class shares.
+func (r *Report) SummaryJSON() []byte {
+	s := summaryJSON{
+		Timers:          r.Summary.Timers,
+		ClusteredTimers: r.Summary.ClusteredTimers,
+		Concurrency:     r.Summary.Concurrency,
+		Accesses:        r.Summary.Accesses,
+		UserSpace:       r.Summary.UserSpace,
+		Kernel:          r.Summary.Kernel,
+		Set:             r.Summary.Set,
+		Expired:         r.Summary.Expired,
+		Canceled:        r.Summary.Canceled,
+		EndNS:           int64(r.End),
+		ClassTotal:      r.Shares.Total,
+		Classes:         make([]classJSON, 0, int(nClasses)),
+	}
+	for _, c := range Classes() {
+		s.Classes = append(s.Classes, classJSON{Class: c.String(), Count: r.Shares.Counts[c]})
+	}
+	return mustJSON(s)
+}
+
+func histJSON(entries []ValueEntry, total int) histogramJSON {
+	h := histogramJSON{Total: total, Entries: make([]histEntryJSON, 0, len(entries))}
+	for _, e := range entries {
+		h.Entries = append(h.Entries, histEntryJSON{
+			ValueNS: int64(e.Value), Jiffies: e.Jiffies, Count: e.Count, Share: e.Share,
+		})
+	}
+	return h
+}
+
+// HistogramsJSON renders the requested value histograms (Figures 3/5/6/7);
+// unconfigured ones render as null.
+func (r *Report) HistogramsJSON() []byte {
+	out := struct {
+		Values         histogramJSON  `json:"values"`
+		ValuesFiltered *histogramJSON `json:"values_filtered"`
+		ValuesUser     *histogramJSON `json:"values_user"`
+	}{Values: histJSON(r.Values, r.ValuesTotal)}
+	if r.ValuesFiltered != nil {
+		h := histJSON(r.ValuesFiltered, r.ValuesFilteredTotal)
+		out.ValuesFiltered = &h
+	}
+	if r.ValuesUser != nil {
+		h := histJSON(r.ValuesUser, r.ValuesUserTotal)
+		out.ValuesUser = &h
+	}
+	return mustJSON(out)
+}
+
+// OriginsJSON renders the Table 3 origin rows.
+func (r *Report) OriginsJSON() []byte {
+	rows := make([]originJSON, 0, len(r.Origins))
+	for _, o := range r.Origins {
+		rows = append(rows, originJSON{
+			ValueNS: int64(o.Value), Origin: o.Origin, Class: o.Class.String(),
+			Sets: o.Sets, Timers: o.Timers,
+		})
+	}
+	return mustJSON(struct {
+		Origins []originJSON `json:"origins"`
+	}{Origins: rows})
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"timerstudy/internal/trace"
+)
+
+// buildPartialStreams cuts wideTrace into nstreams per-producer streams with
+// namespaced timer identities (as distinct hosts would produce), plus the
+// origin table chunks reference. The oracle for any feeding state is a
+// single Pipeline.Run over the streams' prefixes concatenated in stream
+// order — exactly the offline-equivalence contract MergePartials documents.
+func buildPartialStreams(tb testing.TB, nstreams int) (Pipeline, [][]trace.Record, []string) {
+	tb.Helper()
+	p := standardPipeline()
+	b := wideTrace()
+	recs := b.Records()
+	var maxOrigin uint32
+	for _, r := range recs {
+		if r.Origin > maxOrigin {
+			maxOrigin = r.Origin
+		}
+	}
+	origins := make([]string, maxOrigin+1)
+	for i := range origins {
+		origins[i] = b.OriginName(uint32(i))
+	}
+	streams := make([][]trace.Record, nstreams)
+	per := len(recs) / nstreams
+	for s := 0; s < nstreams; s++ {
+		lo, hi := s*per, (s+1)*per
+		if s == nstreams-1 {
+			hi = len(recs)
+		}
+		part := make([]trace.Record, hi-lo)
+		copy(part, recs[lo:hi])
+		for i := range part {
+			part[i].TimerID |= uint64(s+1) << 48
+		}
+		streams[s] = part
+	}
+	return p, streams, origins
+}
+
+// oracleReport runs the plain single-shard pipeline over the concatenation
+// of each stream's first prefix[s] records, re-interning origins the way a
+// fresh Buffer would.
+func oracleReport(tb testing.TB, p Pipeline, streams [][]trace.Record, origins []string, prefix []int) []byte {
+	tb.Helper()
+	total := 0
+	for _, n := range prefix {
+		total += n
+	}
+	b := trace.NewBuffer(total)
+	for s, recs := range streams {
+		for _, r := range recs[:prefix[s]] {
+			r.Origin = b.Origin(origins[r.Origin])
+			b.Log(r)
+		}
+	}
+	rep, err := p.Run(b)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return reportBytes(tb, rep)
+}
+
+// TestPartialMergeMatchesRunInterleaved feeds three streams into three
+// Partials in seeded-random interleavings with random chunk boundaries,
+// snapshotting mid-feed: every MergePartials — intermediate or final — must
+// be byte-identical to a single Run over the equivalent concatenated
+// prefix, and snapshots must not disturb the live fold.
+func TestPartialMergeMatchesRunInterleaved(t *testing.T) {
+	const nstreams = 3
+	p, streams, origins := buildPartialStreams(t, nstreams)
+	full := make([]int, nstreams)
+	for s := range streams {
+		full[s] = len(streams[s])
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			parts := make([]*Partial, nstreams)
+			pos := make([]int, nstreams)
+			for s := range parts {
+				parts[s] = p.NewPartial()
+			}
+			checked := 0
+			for {
+				var live []int
+				for s := range streams {
+					if pos[s] < len(streams[s]) {
+						live = append(live, s)
+					}
+				}
+				if len(live) == 0 {
+					break
+				}
+				s := live[rng.Intn(len(live))]
+				end := min(pos[s]+1+rng.Intn(500), len(streams[s]))
+				parts[s].AddChunk(trace.Chunk{Records: streams[s][pos[s]:end], Origins: origins})
+				pos[s] = end
+				if rng.Intn(16) == 0 && checked < 4 {
+					checked++
+					got := reportBytes(t, p.MergePartials(parts))
+					want := oracleReport(t, p, streams, origins, pos)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("mid-feed merge at %v differs from oracle Run:\n%s\n%s", pos, got, want)
+					}
+				}
+			}
+			got := reportBytes(t, p.MergePartials(parts))
+			want := oracleReport(t, p, streams, origins, full)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("final merge differs from oracle Run:\n%s\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestPartialAddSourceStreamMatchesRun pins the same equivalence with each
+// Partial fed from a v2 StreamReader (the ingest path's source shape)
+// rather than raw chunks, at a chunk size that straddles frames.
+func TestPartialAddSourceStreamMatchesRun(t *testing.T) {
+	const nstreams = 3
+	p, streams, origins := buildPartialStreams(t, nstreams)
+	parts := make([]*Partial, nstreams)
+	full := make([]int, nstreams)
+	for s, recs := range streams {
+		full[s] = len(recs)
+		var buf bytes.Buffer
+		sw := trace.NewStreamWriterSize(&buf, 777)
+		for _, r := range recs {
+			r.Origin = sw.Origin(origins[r.Origin])
+			sw.Log(r)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sr, err := trace.NewStreamReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[s] = p.NewPartial()
+		if err := parts[s].AddSource(sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := reportBytes(t, p.MergePartials(parts))
+	want := oracleReport(t, p, streams, origins, full)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stream-fed merge differs from oracle Run:\n%s\n%s", got, want)
+	}
+}
+
+// TestPartialConcurrentFeedAndSnapshot feeds each stream from its own
+// goroutine while another hammers MergePartials. Under -race this audits
+// the snapshot locking; the final merged report must still equal the
+// oracle, since per-stream order is preserved no matter how feeds
+// interleave across streams.
+func TestPartialConcurrentFeedAndSnapshot(t *testing.T) {
+	const nstreams = 3
+	p, streams, origins := buildPartialStreams(t, nstreams)
+	parts := make([]*Partial, nstreams)
+	full := make([]int, nstreams)
+	for s := range parts {
+		parts[s] = p.NewPartial()
+		full[s] = len(streams[s])
+	}
+	var wg sync.WaitGroup
+	for s := range streams {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			recs := streams[s]
+			for lo := 0; lo < len(recs); lo += 512 {
+				hi := min(lo+512, len(recs))
+				parts[s].AddChunk(trace.Chunk{Records: recs[lo:hi], Origins: origins})
+			}
+		}(s)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			_ = p.MergePartials(parts)
+		}
+	}()
+	wg.Wait()
+	got := reportBytes(t, p.MergePartials(parts))
+	want := oracleReport(t, p, streams, origins, full)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("concurrent-fed merge differs from oracle Run:\n%s\n%s", got, want)
+	}
+}

@@ -158,9 +158,14 @@ const (
 	timerBlockMask  = timerBlockSize - 1
 )
 
-// cluster keys the Section 3.3 (origin, thread) clustering.
+// cluster keys the Section 3.3 (origin, thread) clustering. The key is the
+// resolved origin name, not the numeric ID: IDs are interning-order
+// artifacts of one stream, so merging Partials fed by different producers
+// would otherwise split (or fuse) clusters that a single run over the
+// concatenated streams counts as one. Within one source the two keyings are
+// identical — interning makes name and ID one-to-one.
 type cluster struct {
-	origin uint32
+	origin string
 	pid    int32
 }
 
@@ -270,7 +275,7 @@ func (s *shard) record(r trace.Record, origins []string, src trace.Source) {
 		t.originName = resolveOrigin(origins, src, r.Origin)
 	}
 	s.sum.Accesses++
-	s.clusters[cluster{r.Origin, r.PID}] = true
+	s.clusters[cluster{resolveOrigin(origins, src, r.Origin), r.PID}] = true
 	if r.IsUser() {
 		s.sum.UserSpace++
 	} else {

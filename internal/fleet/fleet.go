@@ -290,11 +290,13 @@ func (f *Fleet) Run(end sim.Time, workers int) RunStats {
 	return stats
 }
 
-// Counters sums the per-host sink counters (for sinks that keep them).
+// Counters sums the per-host sink counters (for sinks that keep them). A
+// teed host sink is counted once, by the first counter-keeping sink in the
+// fan — every sink in a tee sees the identical record sequence.
 func (f *Fleet) Counters() trace.Counters {
 	var total trace.Counters
 	for _, h := range f.hosts {
-		if c, ok := h.Sink.(interface{ Counters() trace.Counters }); ok {
+		if c, ok := firstCounters(h.Sink); ok {
 			hc := c.Counters()
 			for i := range hc.ByOp {
 				total.ByOp[i] += hc.ByOp[i]
@@ -305,6 +307,26 @@ func (f *Fleet) Counters() trace.Counters {
 		}
 	}
 	return total
+}
+
+// firstCounters finds the first counter-keeping sink in a host sink's fan.
+func firstCounters(s trace.Sink) (interface{ Counters() trace.Counters }, bool) {
+	for _, inner := range trace.Fan(s) {
+		if c, ok := inner.(interface{ Counters() trace.Counters }); ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// firstHashSink finds the digest-bearing sink in a host sink's fan.
+func firstHashSink(s trace.Sink) (*trace.HashSink, bool) {
+	for _, inner := range trace.Fan(s) {
+		if hs, ok := inner.(*trace.HashSink); ok {
+			return hs, true
+		}
+	}
+	return nil, false
 }
 
 // Digest folds the per-host trace digests (hosts using trace.HashSink) into
@@ -318,7 +340,7 @@ func (f *Fleet) Digest() uint64 {
 	)
 	d := uint64(offset64)
 	for _, h := range f.hosts {
-		hs, ok := h.Sink.(*trace.HashSink)
+		hs, ok := firstHashSink(h.Sink)
 		if !ok {
 			continue
 		}

@@ -22,6 +22,8 @@ const simPkgPath = "timerstudy/internal/sim"
 var magicPoliced = []string{
 	"timerstudy/internal/workloads",
 	"timerstudy/internal/fleet",
+	"timerstudy/internal/serve",
+	"timerstudy/internal/trace",
 	"timerstudy/examples/",
 	"timerstudy/cmd/",
 }

@@ -1,0 +1,26 @@
+package serve
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the single-page dashboard: vanilla JS polling the JSON
+// API, no external assets, so the whole UI ships inside the binary and
+// works on an air-gapped host.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}

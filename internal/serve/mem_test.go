@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"timerstudy/internal/sim"
+	"timerstudy/internal/trace"
+)
+
+// TestServeBoundedMemoryUnderIngest is the service-side bounded-memory
+// acceptance test (the ingest analogue of analysis's
+// TestPipelineBoundedMemoryOverStream): 2M records over 8 concurrent
+// producer streams must land in server heap growth that tracks the
+// per-connection budget — decoder chunk + body buffer + shard live state —
+// not the record count. The streamed bytes are ~80 MB; the allowed growth
+// is a quarter of that.
+func TestServeBoundedMemoryUnderIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams ~80 MB through the ingest path")
+	}
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+
+	const (
+		nstreams   = 8
+		recsPer    = 250_000 // 8 × 250k = 2M records
+		ntimers    = 512
+		norigins   = 64
+		budgetFrac = 4 // heap growth must stay under wireBytes/budgetFrac
+	)
+
+	clk := newFakeClock()
+	srv := New(Options{Pipeline: testPipeline(), Clock: clk.now})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nstreams)
+	for s := 0; s < nstreams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sink, err := trace.NewHTTPSink(ts.URL, fmt.Sprintf("mem-%02d", s),
+				trace.HTTPSinkOptions{Instance: "mem"})
+			if err != nil {
+				errs <- err
+				return
+			}
+			origins := make([]uint32, norigins)
+			for i := range origins {
+				origins[i] = sink.Origin(fmt.Sprintf("kernel/gen-%d", i))
+			}
+			ns := uint64(s+1) << 48
+			for i := 0; i < recsPer; i += 2 {
+				id := ns | uint64(i/2)%ntimers
+				o := origins[(uint64(i/2)%ntimers)%norigins]
+				ti := sim.Time(i) * sim.Time(sim.Millisecond)
+				sink.Log(trace.Record{T: ti, TimerID: id, Op: trace.OpSet,
+					Origin: o, Timeout: int64(10 * sim.Millisecond)})
+				sink.Log(trace.Record{T: ti + sim.Time(10*sim.Millisecond),
+					TimerID: id, Op: trace.OpExpire, Origin: o})
+			}
+			if err := sink.Close(); err != nil {
+				errs <- err
+				return
+			}
+			if st := sink.Stats(); st.DroppedBatches != 0 {
+				errs <- fmt.Errorf("stream %d dropped %d batches", s, st.DroppedBatches)
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// One merge so the cached view's cost counts against the budget too.
+	httpGet(t, ts.URL+"/api/summary")
+
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+
+	wireBytes := srv.Metrics.IngestBytes.Load()
+	if wireBytes < uint64(nstreams*recsPer*trace.RecordSize) {
+		t.Fatalf("ingested only %d bytes", wireBytes)
+	}
+	if got := srv.Metrics.IngestRecords.Load(); got != nstreams*recsPer {
+		t.Fatalf("ingested %d records, want %d", got, nstreams*recsPer)
+	}
+
+	growth := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	budget := int64(wireBytes) / budgetFrac
+	t.Logf("streamed %d MB over %d streams; heap growth %d KB (budget %d KB)",
+		wireBytes>>20, nstreams, growth>>10, budget>>10)
+	if growth > budget {
+		t.Fatalf("server heap grew %d bytes; budget %d (streamed %d)",
+			growth, budget, wireBytes)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled mirrors the -race build tag so memory-accounting tests can
+// skip themselves under the instrumented runtime.
+const raceEnabled = true

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+
+	"timerstudy/internal/trace"
+)
+
+// rateRing is the time-windowed ring of per-second ingest-rate buckets
+// behind /api/rates: arrival-stamped counts of bytes, records and timer
+// operations. It is wall-clock service state — the virtual-time rate
+// tables stay in the analysis package — sized at one bucket per second for
+// the configured window and overwritten in place as time advances, so
+// memory is fixed no matter how long the service runs.
+type rateBucket struct {
+	Sec     int64  `json:"t"`
+	Bytes   uint64 `json:"bytes"`
+	Records uint64 `json:"records"`
+	Set     uint64 `json:"set"`
+	Expired uint64 `json:"expired"`
+	Cancel  uint64 `json:"canceled"`
+}
+
+type rateRing struct {
+	mu      sync.Mutex
+	buckets []rateBucket
+}
+
+func newRateRing(windowSecs int) *rateRing {
+	return &rateRing{buckets: make([]rateBucket, windowSecs)}
+}
+
+// slot returns the bucket for an absolute unix second, resetting it if the
+// ring has lapped since it was last written.
+func (r *rateRing) slot(sec int64) *rateBucket {
+	b := &r.buckets[int(sec%int64(len(r.buckets)))]
+	if b.Sec != sec {
+		*b = rateBucket{Sec: sec}
+	}
+	return b
+}
+
+// add folds one accepted batch into the bucket of its arrival second.
+func (r *rateRing) add(sec int64, bytes uint64, recs []trace.Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.slot(sec)
+	b.Bytes += bytes
+	b.Records += uint64(len(recs))
+	for _, rec := range recs {
+		switch rec.Op {
+		case trace.OpSet, trace.OpWait:
+			b.Set++
+		case trace.OpExpire:
+			b.Expired++
+		case trace.OpCancel:
+			b.Cancel++
+		}
+	}
+}
+
+// window returns the last n seconds ending at now, oldest first,
+// zero-filling seconds with no arrivals. n is clamped to the ring size.
+func (r *rateRing) window(now int64, n int) []rateBucket {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(r.buckets) {
+		n = len(r.buckets)
+	}
+	out := make([]rateBucket, 0, n)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for sec := now - int64(n) + 1; sec <= now; sec++ {
+		b := r.buckets[int(sec%int64(len(r.buckets)))]
+		if b.Sec != sec {
+			b = rateBucket{Sec: sec}
+		}
+		out = append(out, b)
+	}
+	return out
+}

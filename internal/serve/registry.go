@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"timerstudy/internal/analysis"
+	"timerstudy/internal/trace"
+)
+
+// stream is the server-side state for one producer stream: a frame decoder
+// (origin table + reused chunk scratch), an incremental analysis shard, and
+// the sequence-number protocol that makes retried POSTs idempotent. Memory
+// per stream is bounded: one decoder chunk, one reusable body buffer capped
+// at the configured max body size, the origin table, and the shard (whose
+// arena is proportional to live timers, not records seen).
+type stream struct {
+	name     string
+	instance string
+
+	// mu orders POSTs within the stream; producers send batches serially,
+	// so contention here means a retry racing its own original.
+	mu      sync.Mutex
+	dec     *trace.FrameDecoder
+	pa      *analysis.Partial
+	nextSeq uint64
+	body    []byte // reusable POST body buffer, cap ≤ maxBody+1
+	errMsg  string // non-empty once the stream is poisoned by a decode error
+
+	// Read without the stream lock by /api/streams and /api/metrics.
+	bytes    atomic.Uint64
+	records  atomic.Uint64
+	frames   atomic.Uint64
+	closed   atomic.Bool
+	lastUnix atomic.Int64 // arrival second of the most recent accepted POST
+}
+
+// getStream returns the registered stream, creating it when this is the
+// stream's first batch (seq 0). A non-zero seq for an unknown name means the
+// server restarted or evicted state mid-stream; the producer cannot recover
+// by retrying, so it is a permanent 409. The created stream is returned
+// unlocked.
+func (s *Server) getStream(name, instance string, seq uint64) (*stream, int, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.streams[name]; ok {
+		return st, 0, ""
+	}
+	if seq != 0 {
+		return nil, 409, "unknown stream at non-zero sequence (server lost state?)"
+	}
+	if len(s.streams) >= s.maxStreams {
+		return nil, 503, "stream limit reached"
+	}
+	st := &stream{
+		name:     name,
+		instance: instance,
+		dec:      trace.NewFrameDecoder(),
+		pa:       s.pipe.NewPartial(),
+	}
+	s.streams[name] = st
+	s.Metrics.StreamsOpened.Add(1)
+	return st, 0, ""
+}
+
+// orderedPartials snapshots the stream set in lexicographic name order — the
+// deterministic merge order that makes the global report independent of
+// arrival and ingestion timing — and returns the total records they have
+// absorbed.
+func (s *Server) orderedPartials() ([]*analysis.Partial, uint64) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.streams))
+	for name := range s.streams {
+		names = append(names, name)
+	}
+	parts := make([]*analysis.Partial, 0, len(names))
+	sort.Strings(names)
+	var records uint64
+	for _, name := range names {
+		st := s.streams[name]
+		parts = append(parts, st.pa)
+		records += st.records.Load()
+	}
+	s.mu.Unlock()
+	return parts, records
+}
+
+// allClosed reports whether every registered stream has received its
+// counters footer; a server with no streams counts as quiesced (the merge of
+// nothing is the empty report).
+func (s *Server) allClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.streams {
+		if !st.closed.Load() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,41 @@
+package serve
+
+import "time"
+
+// Live-service tunables. These are host wall-clock values (the service
+// talks to real producers and real browsers), but the paper's Section 4
+// critique of unexplained magic numbers applies to our own configuration
+// too, so every value carries its provenance and the magictimeout gate
+// polices this package.
+const (
+	// defaultMergeCadence rate-limits query-triggered global merges: a
+	// merge deep-clones every live stream shard, so at most one per second
+	// keeps dashboard auto-refresh (1–2 s period) fresh while bounding
+	// merge work to a fixed fraction of ingest throughput. A fully
+	// quiesced server merges immediately regardless, so the cadence never
+	// delays the deterministic final report.
+	defaultMergeCadence = 1 * time.Second
+
+	// defaultRateWindowSecs sizes the per-second rate ring: five minutes
+	// covers the dashboard's longest chart window ("30 seconds is not
+	// enough" — but 300 is for a live rate plot) at one bucket per second.
+	defaultRateWindowSecs = 300
+
+	// defaultMaxBodyBytes caps one ingest POST. An HTTPSink batch at the
+	// default 1<<14 records is ~640 KiB plus origin frames; 8 MiB accepts
+	// maximal custom batches (maxChunkRecords would still be refused by
+	// the decoder) while bounding per-connection buffering.
+	defaultMaxBodyBytes = 8 << 20
+
+	// defaultMaxStreams bounds distinct producer streams; 1024 matches the
+	// fleet demo's host count and keeps worst-case resident shard state
+	// (streams × live timers) within a small multiple of the fleet run
+	// itself.
+	defaultMaxStreams = 1024
+
+	// defaultIngestConcurrency bounds POST bodies being read/decoded at
+	// once; beyond it producers queue on their connections (backpressure).
+	// 16 saturates decode on any host this runs on while capping transient
+	// body buffers at 16 × defaultMaxBodyBytes.
+	defaultIngestConcurrency = 16
+)

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FrameDecoder incrementally decodes a v2 stream that arrives as discrete
+// frame-aligned byte batches (HTTP POST bodies from an HTTPSink) rather
+// than as an io.Reader. Each Feed call decodes every frame in the batch:
+// origin frames extend the string table, record frames are decoded into a
+// reused scratch slice and handed to emit as a Chunk, and the counters
+// footer closes the stream. Memory is bounded by one chunk plus the origin
+// table regardless of how many batches arrive — the same budget as
+// StreamReader.
+//
+// Batches must be frame-aligned: the producer cuts its stream only between
+// frames, so a batch that ends mid-frame means corruption or a framing bug
+// and is an error, never buffered. The first batch starts with the 8-byte
+// stream header.
+type FrameDecoder struct {
+	origins    []string
+	counters   Counters
+	footer     bool
+	headerDone bool
+	off        int64 // bytes consumed across all batches, header included
+	frames     int64
+	recs       []Record
+}
+
+// NewFrameDecoder returns a decoder expecting the stream header at the
+// start of the first batch.
+func NewFrameDecoder() *FrameDecoder {
+	return &FrameDecoder{origins: []string{"?"}}
+}
+
+// need validates that n bytes of the current batch remain at pos; a short
+// batch reports the absolute stream offset where the data ran out.
+func (d *FrameDecoder) need(batch []byte, pos, n int, what string) error {
+	if len(batch)-pos < n {
+		return fmt.Errorf("trace: %s truncated at byte offset %d: batch not frame-aligned",
+			what, d.off+int64(len(batch)))
+	}
+	return nil
+}
+
+// Feed decodes every frame in batch, calling emit for each record chunk on
+// the calling goroutine. Chunk contents are only valid during the callback.
+// Errors (emit's or framing) poison nothing by themselves, but a caller
+// should stop feeding a stream that has returned one: the string table may
+// be mid-extension.
+func (d *FrameDecoder) Feed(batch []byte, emit func(Chunk) error) error {
+	pos := 0
+	le := binary.LittleEndian
+	if !d.headerDone {
+		if err := d.need(batch, 0, headerSize, "stream header"); err != nil {
+			return err
+		}
+		if string(batch[:4]) != magic {
+			return fmt.Errorf("trace: bad magic %q", batch[:4])
+		}
+		if v := le.Uint32(batch[4:8]); v != version2 {
+			return fmt.Errorf("trace: not a v2 stream (version %d)", v)
+		}
+		d.headerDone = true
+		pos = headerSize
+	}
+	for pos < len(batch) {
+		if d.footer {
+			return fmt.Errorf("trace: trailing garbage after counters footer at byte offset %d", d.off+int64(pos))
+		}
+		kind := batch[pos]
+		pos++
+		d.frames++
+		switch kind {
+		case frameOrigins:
+			if err := d.need(batch, pos, 4, "origin frame header"); err != nil {
+				return err
+			}
+			count := le.Uint32(batch[pos:])
+			pos += 4
+			if uint64(len(d.origins))+uint64(count) > maxReasonable {
+				return fmt.Errorf("trace: implausible origin table (%d entries)", uint64(len(d.origins))+uint64(count))
+			}
+			for i := uint32(0); i < count; i++ {
+				if err := d.need(batch, pos, 4, "origin length"); err != nil {
+					return err
+				}
+				n := le.Uint32(batch[pos:])
+				pos += 4
+				if n > 1<<16 {
+					return fmt.Errorf("trace: origin %d implausibly long (%d)", len(d.origins), n)
+				}
+				if err := d.need(batch, pos, int(n), "origin name"); err != nil {
+					return err
+				}
+				d.origins = append(d.origins, string(batch[pos:pos+int(n)]))
+				pos += int(n)
+			}
+		case frameRecords:
+			if err := d.need(batch, pos, 4, "record chunk header"); err != nil {
+				return err
+			}
+			count := le.Uint32(batch[pos:])
+			pos += 4
+			if count > maxChunkRecords {
+				return fmt.Errorf("trace: implausible record chunk (%d records)", count)
+			}
+			payload := int(count) * RecordSize
+			if err := d.need(batch, pos, payload, "record chunk"); err != nil {
+				return err
+			}
+			var err error
+			d.recs, err = decodeChunk(batch[pos:pos+payload], int(count), d.recs, len(d.origins))
+			if err != nil {
+				return err
+			}
+			pos += payload
+			if err := emit(Chunk{Records: d.recs, Origins: d.origins}); err != nil {
+				return err
+			}
+		case frameCounters:
+			if err := d.need(batch, pos, countersSize, "counters footer"); err != nil {
+				return err
+			}
+			for i := range d.counters.ByOp {
+				d.counters.ByOp[i] = le.Uint64(batch[pos+i*8:])
+			}
+			d.counters.Total = le.Uint64(batch[pos+int(nOps)*8:])
+			d.counters.Dropped = le.Uint64(batch[pos+(int(nOps)+1)*8:])
+			d.counters.Unknown = le.Uint64(batch[pos+(int(nOps)+2)*8:])
+			d.footer = true
+			pos += countersSize
+		default:
+			return fmt.Errorf("trace: unknown frame type %q at byte offset %d", kind, d.off+int64(pos-1))
+		}
+	}
+	d.off += int64(len(batch))
+	return nil
+}
+
+// Done reports whether the counters footer has been decoded — the stream's
+// orderly end.
+func (d *FrameDecoder) Done() bool { return d.footer }
+
+// Counters returns the footer tallies; ok is false until the footer frame
+// has been fed.
+func (d *FrameDecoder) Counters() (c Counters, ok bool) {
+	return d.counters, d.footer
+}
+
+// Offset returns the count of stream bytes consumed so far, header
+// included.
+func (d *FrameDecoder) Offset() int64 { return d.off }
+
+// Frames returns how many frames have been decoded so far.
+func (d *FrameDecoder) Frames() int64 { return d.frames }
+
+// OriginName resolves an origin ID against the table decoded so far;
+// unknown IDs resolve to "?".
+func (d *FrameDecoder) OriginName(id uint32) string {
+	if int(id) < len(d.origins) {
+		return d.origins[id]
+	}
+	return d.origins[0]
+}
+
+// countFrames counts the complete frames in a frame-aligned batch,
+// tolerating (and stopping at) malformed framing: it is drop accounting,
+// not validation. hasHeader says the batch begins with the stream header.
+func countFrames(b []byte, hasHeader bool) int {
+	le := binary.LittleEndian
+	pos := 0
+	if hasHeader {
+		if len(b) < headerSize {
+			return 0
+		}
+		pos = headerSize
+	}
+	frames := 0
+	for pos < len(b) {
+		kind := b[pos]
+		pos++
+		switch kind {
+		case frameOrigins:
+			if len(b)-pos < 4 {
+				return frames
+			}
+			count := int(le.Uint32(b[pos:]))
+			pos += 4
+			for i := 0; i < count; i++ {
+				if len(b)-pos < 4 {
+					return frames
+				}
+				n := int(le.Uint32(b[pos:]))
+				pos += 4 + n
+				if pos > len(b) {
+					return frames
+				}
+			}
+		case frameRecords:
+			if len(b)-pos < 4 {
+				return frames
+			}
+			pos += 4 + int(le.Uint32(b[pos:]))*RecordSize
+			if pos > len(b) {
+				return frames
+			}
+		case frameCounters:
+			pos += countersSize
+			if pos > len(b) {
+				return frames
+			}
+		default:
+			return frames
+		}
+		frames++
+	}
+	return frames
+}

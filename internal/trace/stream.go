@@ -41,6 +41,9 @@ const (
 
 	// countersSize is the byte size of the 'C' footer payload.
 	countersSize = (int(nOps) + 3) * 8
+
+	// headerSize is the byte size of the stream header (magic + version).
+	headerSize = 8
 )
 
 // StreamWriter is a Sink that encodes records into the chunked v2 format as
@@ -228,6 +231,10 @@ type StreamReader struct {
 	counters Counters
 	footer   bool
 	consumed bool
+	// off is the count of bytes consumed from the start of the stream,
+	// including the 8-byte header. Truncation errors report it so a cut
+	// stream (lost connection, partial upload) is diagnosable to the byte.
+	off int64
 }
 
 // NewStreamReader validates the v2 header of r and returns a reader for the
@@ -245,7 +252,22 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 }
 
 func newStreamReader(br *bufio.Reader) *StreamReader {
-	return &StreamReader{br: br, origins: []string{"?"}}
+	return &StreamReader{br: br, origins: []string{"?"}, off: headerSize}
+}
+
+// readFull fills p from the stream, advancing the consumed-byte offset by
+// however much actually arrived. On a short read the error names what was
+// being read and the exact byte offset where the stream ended.
+func (s *StreamReader) readFull(p []byte, what string) error {
+	n, err := io.ReadFull(s.br, p)
+	s.off += int64(n)
+	if err == nil {
+		return nil
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("trace: %s truncated at byte offset %d: %w", what, s.off, io.ErrUnexpectedEOF)
+	}
+	return fmt.Errorf("trace: reading %s at byte offset %d: %w", what, s.off, err)
 }
 
 // ForEach decodes the stream, calling fn for every record in order. It
@@ -275,37 +297,38 @@ func (s *StreamReader) walkFrames(getBuf func(need int) []byte, emit func(raw []
 	for {
 		kind, err := s.br.ReadByte()
 		if err == io.EOF {
-			return fmt.Errorf("trace: stream truncated: missing counters footer")
+			return fmt.Errorf("trace: stream truncated at byte offset %d: missing counters footer", s.off)
 		}
 		if err != nil {
-			return fmt.Errorf("trace: reading frame: %w", err)
+			return fmt.Errorf("trace: reading frame at byte offset %d: %w", s.off, err)
 		}
+		s.off++
 		switch kind {
 		case frameOrigins:
-			if _, err := io.ReadFull(s.br, buf[:4]); err != nil {
-				return fmt.Errorf("trace: reading origin frame: %w", err)
+			if err := s.readFull(buf[:4], "origin frame header"); err != nil {
+				return err
 			}
 			count := le.Uint32(buf[:4])
 			if uint64(len(s.origins))+uint64(count) > maxReasonable {
 				return fmt.Errorf("trace: implausible origin table (%d entries)", uint64(len(s.origins))+uint64(count))
 			}
 			for i := uint32(0); i < count; i++ {
-				if _, err := io.ReadFull(s.br, buf[:4]); err != nil {
-					return fmt.Errorf("trace: reading origin length: %w", err)
+				if err := s.readFull(buf[:4], "origin length"); err != nil {
+					return err
 				}
 				n := le.Uint32(buf[:4])
 				if n > 1<<16 {
 					return fmt.Errorf("trace: origin %d implausibly long (%d)", len(s.origins), n)
 				}
 				name := make([]byte, n)
-				if _, err := io.ReadFull(s.br, name); err != nil {
-					return fmt.Errorf("trace: reading origin %d: %w", len(s.origins), err)
+				if err := s.readFull(name, fmt.Sprintf("origin %d", len(s.origins))); err != nil {
+					return err
 				}
 				s.origins = append(s.origins, string(name))
 			}
 		case frameRecords:
-			if _, err := io.ReadFull(s.br, buf[:4]); err != nil {
-				return fmt.Errorf("trace: reading record chunk header: %w", err)
+			if err := s.readFull(buf[:4], "record chunk header"); err != nil {
+				return err
 			}
 			count := le.Uint32(buf[:4])
 			if count > maxChunkRecords {
@@ -314,16 +337,16 @@ func (s *StreamReader) walkFrames(getBuf func(need int) []byte, emit func(raw []
 				return fmt.Errorf("trace: implausible record chunk (%d records)", count)
 			}
 			raw := getBuf(int(count) * RecordSize)[:int(count)*RecordSize]
-			if _, err := io.ReadFull(s.br, raw); err != nil {
-				return fmt.Errorf("trace: reading record chunk: %w", err)
+			if err := s.readFull(raw, "record chunk"); err != nil {
+				return err
 			}
 			if err := emit(raw, int(count)); err != nil {
 				return err
 			}
 		case frameCounters:
 			var foot [countersSize]byte
-			if _, err := io.ReadFull(s.br, foot[:]); err != nil {
-				return fmt.Errorf("trace: reading counters footer: %w", err)
+			if err := s.readFull(foot[:], "counters footer"); err != nil {
+				return err
 			}
 			for i := range s.counters.ByOp {
 				s.counters.ByOp[i] = le.Uint64(foot[i*8:])
@@ -333,9 +356,9 @@ func (s *StreamReader) walkFrames(getBuf func(need int) []byte, emit func(raw []
 			s.counters.Unknown = le.Uint64(foot[(nOps+2)*8:])
 			s.footer = true
 			if _, err := s.br.ReadByte(); err == nil {
-				return fmt.Errorf("trace: trailing garbage after counters footer")
+				return fmt.Errorf("trace: trailing garbage after counters footer at byte offset %d", s.off)
 			} else if err != io.EOF {
-				return fmt.Errorf("trace: reading stream end: %w", err)
+				return fmt.Errorf("trace: reading stream end at byte offset %d: %w", s.off, err)
 			}
 			return nil
 		default:

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// frameBoundaries scans an encoded v2 stream and returns the byte offset of
+// every frame start, plus the end-of-stream offset. It is a test-local
+// re-derivation of the framing so the reader under test cannot mask its own
+// bugs.
+func frameBoundaries(tb testing.TB, full []byte) []int {
+	tb.Helper()
+	le := binary.LittleEndian
+	pos := headerSize
+	bounds := []int{pos}
+	for pos < len(full) {
+		kind := full[pos]
+		pos++
+		switch kind {
+		case frameOrigins:
+			count := int(le.Uint32(full[pos:]))
+			pos += 4
+			for i := 0; i < count; i++ {
+				n := int(le.Uint32(full[pos:]))
+				pos += 4 + n
+			}
+		case frameRecords:
+			count := int(le.Uint32(full[pos:]))
+			pos += 4 + count*RecordSize
+		case frameCounters:
+			pos += countersSize
+		default:
+			tb.Fatalf("unknown frame %q at offset %d", kind, pos-1)
+		}
+		bounds = append(bounds, pos)
+	}
+	if pos != len(full) {
+		tb.Fatalf("frame scan overran: pos %d, stream %d bytes", pos, len(full))
+	}
+	return bounds
+}
+
+// TestStreamTruncationReportsOffset cuts a 3-chunk fixture at every frame
+// boundary — and mid-frame between each pair of boundaries — and requires
+// the decode error to name the exact byte offset where the stream ended.
+func TestStreamTruncationReportsOffset(t *testing.T) {
+	full := buildV2(t, 12, 4) // 3 record chunks + interleaved 'O' frames
+	bounds := frameBoundaries(t, full)
+	if nframes := len(bounds) - 1; nframes < 5 {
+		t.Fatalf("fixture too small: %d frames, want >= 5 (3 'R' + 'O's + 'C')", nframes)
+	}
+
+	cuts := make(map[int]bool)
+	for i, b := range bounds {
+		if b < len(full) {
+			cuts[b] = true // cut exactly at a frame boundary
+		}
+		if i+1 < len(bounds) {
+			cuts[(b+bounds[i+1])/2] = true // cut mid-frame
+			cuts[b+1] = true               // cut right after the frame kind byte
+		}
+	}
+	for cut := range cuts {
+		sr, err := NewStreamReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header rejected: %v", cut, err)
+		}
+		err = sr.ForEach(func(Record) {})
+		if err == nil {
+			t.Fatalf("cut %d: truncated stream decoded without error", cut)
+		}
+		want := fmt.Sprintf("byte offset %d", cut)
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("cut %d: error %q does not report %q", cut, err, want)
+		}
+	}
+
+	// The untruncated stream still decodes cleanly.
+	sr, err := NewStreamReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.ForEach(func(Record) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamTruncationOffsetParallel pins the same contract through the
+// parallel chunk pipeline: the frame walk is shared, so a truncation error
+// must surface with its offset at any worker count, delivered after every
+// chunk that preceded the cut.
+func TestStreamTruncationOffsetParallel(t *testing.T) {
+	full := buildV2(t, 12, 4)
+	bounds := frameBoundaries(t, full)
+	cut := (bounds[len(bounds)-2] + bounds[len(bounds)-1]) / 2 // mid-final-frame
+	sr, err := NewStreamReader(bytes.NewReader(full[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sr.ForEachChunk(4, func(Chunk) error { return nil })
+	want := fmt.Sprintf("byte offset %d", cut)
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("parallel decode error %q does not report %q", err, want)
+	}
+}

@@ -1,0 +1,52 @@
+package trace
+
+// Tee returns a Sink fanning every Log and Origin call out to all sinks.
+// Because every Sink implementation assigns origin IDs in first-intern
+// order, fresh sinks agree on every ID and the teed streams stay
+// byte-identical; teeing onto a sink that has already interned a different
+// origin set is a programming error and panics at the first divergence.
+func Tee(sinks ...Sink) Sink {
+	if len(sinks) == 1 {
+		return sinks[0]
+	}
+	return &teeSink{sinks: sinks}
+}
+
+type teeSink struct{ sinks []Sink }
+
+// Fan expands a sink into its fan-out targets: the inner sinks for a Tee,
+// the sink itself otherwise. Callers that type-assert sinks (fleet digest
+// and counter folds) use it to see through a tee.
+func Fan(s Sink) []Sink {
+	if t, ok := s.(*teeSink); ok {
+		return t.sinks
+	}
+	return []Sink{s}
+}
+
+func (t *teeSink) Log(r Record) {
+	for _, s := range t.sinks {
+		s.Log(r)
+	}
+}
+
+// Counters reports the first counter-keeping inner sink's tallies — every
+// sink in a tee sees the identical record sequence, so one speaks for all.
+func (t *teeSink) Counters() Counters {
+	for _, s := range t.sinks {
+		if c, ok := s.(interface{ Counters() Counters }); ok {
+			return c.Counters()
+		}
+	}
+	return Counters{}
+}
+
+func (t *teeSink) Origin(name string) uint32 {
+	id := t.sinks[0].Origin(name)
+	for _, s := range t.sinks[1:] {
+		if got := s.Origin(name); got != id {
+			panic("trace: Tee sinks disagree on origin ID; tee only onto fresh sinks")
+		}
+	}
+	return id
+}

@@ -1,0 +1,25 @@
+package trace
+
+import "time"
+
+// HTTPSink wire-protocol durations. These are host wall-clock durations
+// (the sink talks to a real network service), not sim time — but the
+// paper's Section 4 critique of unexplained magic values applies to our
+// own configuration too, so each carries its provenance.
+const (
+	// DefaultHTTPTimeout bounds one ingest POST round trip. A batch is at
+	// most a few MiB; ten seconds covers a loopback or LAN hop with two
+	// orders of magnitude of slack, and failing faster than TCP's own
+	// multi-minute give-up keeps the retry loop responsive.
+	DefaultHTTPTimeout = 10 * time.Second
+
+	// defaultBackoffBase is the first retry delay, doubling per attempt.
+	// 50 ms is long enough to ride out a GC pause or accept-queue blip on
+	// the server without stalling the producer's bounded batch queue.
+	defaultBackoffBase = 50 * time.Millisecond
+
+	// maxBackoff caps the exponential: with the default four retries the
+	// sink gives up after ~1 s of backoff anyway; the cap keeps custom
+	// high-retry configurations from sleeping unboundedly.
+	maxBackoff = 2 * time.Second
+)

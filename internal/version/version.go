@@ -1,0 +1,61 @@
+// Package version renders the build's identity — module version plus VCS
+// stamp — from the info the Go toolchain embeds in every binary. All four
+// cmds print it under -version, `timerstat -serve` logs it at startup, and
+// /api/metrics reports it so a dashboard can tell which build produced a
+// report.
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// String returns a one-line build identity like
+//
+//	timerstudy devel rev 1a2b3c4d5e6f (dirty) 2026-08-08T10:00:00Z go1.24.1
+//
+// degrading gracefully when pieces are missing (test binaries, stripped
+// builds).
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (no build info)"
+	}
+	var parts []string
+	if bi.Main.Path != "" {
+		parts = append(parts, bi.Main.Path)
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	parts = append(parts, v)
+	var rev, at string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		parts = append(parts, "rev "+rev)
+		if dirty {
+			parts = append(parts, "(dirty)")
+		}
+	}
+	if at != "" {
+		parts = append(parts, at)
+	}
+	if bi.GoVersion != "" {
+		parts = append(parts, bi.GoVersion)
+	}
+	return strings.Join(parts, " ")
+}

@@ -35,6 +35,14 @@ go run ./cmd/experiments "${args[@]}" > /dev/null
 go run ./cmd/experiments -fleet -hosts "${FLEET_HOSTS:-64}" \
 	-fleet-duration "${FLEET_DURATION:-5s}" -bench "$out" > /dev/null
 
+# Live trace service: loopback ingest/query throughput (producers x
+# readers through real HTTP), merged under the "serve" key. The run also
+# re-checks the quiesced server's summary against the offline pipeline and
+# exits nonzero on divergence, so the bench doubles as a determinism check.
+go run ./cmd/experiments -serve-bench -quick \
+	-serve-producers "${SERVE_PRODUCERS:-8}" -serve-readers "${SERVE_READERS:-4}" \
+	-bench "$out" > /dev/null
+
 # Lint self-run cost: package-load and per-analyzer wall time plus finding
 # counts, merged into the report under its "lint" key. Findings themselves
 # gate check.sh, not the bench; a dirty tree still yields a timing report.

@@ -52,6 +52,13 @@ echo "== timerlint allocfree gate (annotated hot paths must have no heap escapes
 # unmistakable step name.
 go run ./cmd/timerlint -run allocfree ./internal/sim ./internal/trace ./internal/analysis
 
+echo "== timerlint serve gates (stream ingest + producer sink) =="
+# The live service and the HTTP producer sink hold the retry/backoff and
+# merge-cadence tunables: magictimeout audits their timeouts.go provenance
+# registries, rawsink/goroutinecapture audit the ingest handlers and the
+# sink's sender goroutine.
+go run ./cmd/timerlint -run rawsink,goroutinecapture,magictimeout ./internal/serve ./internal/trace
+
 echo "== timerlint fleet gates (alloc-free window advance, no shared-state captures) =="
 # The fleet's worker-pool closures and the netsim fabric they read are the
 # two places a shared-state capture would silently break byte-identical
@@ -72,5 +79,38 @@ if [[ -z "$d1" || "$d1" != "$d4" ]]; then
 	exit 1
 fi
 echo "fleet digest $d1 identical at workers=1 and workers=4"
+
+echo "== live-service loopback gate (serve ingest == offline timerstat) =="
+# End-to-end determinism across the network path: start timerstat -serve on
+# a loopback port, record a trace while streaming it to the service through
+# trace.HTTPSink (timertrace -emit), then the quiesced server's
+# /api/summary must be byte-identical to offline `timerstat -json -summary`
+# over the recorded file.
+gate_dir="$(mktemp -d)"
+serve_pid=""
+trap 'rm -rf "$gate_dir"; [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null || true' EXIT
+go build -o "$gate_dir/timerstat" ./cmd/timerstat
+go build -o "$gate_dir/timertrace" ./cmd/timertrace
+"$gate_dir/timerstat" -serve 127.0.0.1:0 > "$gate_dir/serve.out" 2> "$gate_dir/serve.log" &
+serve_pid=$!
+for _ in $(seq 50); do
+	serve_url="$(sed -n 's#^listening on ##p' "$gate_dir/serve.out")"
+	[[ -n "$serve_url" ]] && break
+	sleep 0.1
+done
+if [[ -z "${serve_url:-}" ]]; then
+	echo "LOOPBACK GATE: timerstat -serve never reported its address" >&2
+	cat "$gate_dir/serve.log" >&2
+	exit 1
+fi
+"$gate_dir/timertrace" -os linux -workload firefox -duration 2m -stream \
+	-o "$gate_dir/gate.trace" -emit "$serve_url" > /dev/null
+curl -sf "$serve_url/api/summary" > "$gate_dir/served.json"
+"$gate_dir/timerstat" -json -summary "$gate_dir/gate.trace" > "$gate_dir/offline.json"
+if ! diff -u "$gate_dir/served.json" "$gate_dir/offline.json"; then
+	echo "LOOPBACK GATE: live /api/summary != offline timerstat -json -summary" >&2
+	exit 1
+fi
+echo "live service summary byte-identical to offline analysis"
 
 echo "OK"
