@@ -410,8 +410,14 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		return 2
 	}
+	if *listFl {
+		return runList()
+	}
 	if *serveBenchFl {
 		return runServeBench(queue)
+	}
+	if controlMode() {
+		return runControl(queue)
 	}
 	if *fleetFl {
 		return runFleet(queue)

@@ -1,10 +1,22 @@
 package main
 
-import "timerstudy/internal/sim"
+import (
+	"time"
+
+	"timerstudy/internal/sim"
+)
 
 // The experiment suite's timeout registry (paper Section 5.2: a timeout
 // value without provenance is a bug).
 const (
+	// pollInterval rate-limits -poll hub round trips (and bounds each HTTP
+	// call): fleet barriers are microseconds of wall time apart, so
+	// draining the hub at every one would melt the service; 200 ms keeps
+	// dashboard steering sub-second without measurable drag on the run.
+	// Wall-clock by nature — it throttles real HTTP traffic, and command
+	// arrival time never affects virtual time (the window stamp does).
+	pollInterval = 200 * time.Millisecond
+
 	// audioFrameInterval: the 20 ms VoIP audio cadence from the Skype traces.
 	audioFrameInterval = 20 * sim.Millisecond
 	// audioWindow: ±5 ms tolerable dispatch slack for audio.

@@ -37,14 +37,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"timerstudy/internal/analysis"
 	"timerstudy/internal/serve"
@@ -246,7 +249,10 @@ func writeJSON(rep *analysis.Report, summary, values, origins bool) int {
 	return 0
 }
 
-// runServe runs the live trace service until the process is killed. The
+// runServe runs the live trace service until the process receives SIGINT
+// or SIGTERM, then shuts down gracefully: stop accepting, drain in-flight
+// ingests, force a final merge, and close the listener — so an interrupted
+// check.sh loopback gate never leaks a port or a half-written view. The
 // listen line goes to stdout in a fixed format so scripts (scripts/check.sh)
 // can scrape the bound address when given port 0.
 func runServe(addr string, p analysis.Pipeline) int {
@@ -259,10 +265,33 @@ func runServe(addr string, p analysis.Pipeline) int {
 	log.Printf("timerstat -serve %s", v)
 	fmt.Printf("listening on http://%s\n", ln.Addr())
 	srv := serve.New(serve.Options{Pipeline: p, Version: v})
-	if err := http.Serve(ln, srv.Handler()); err != nil {
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		// Serve only returns on listener failure here; Shutdown's
+		// ErrServerClosed cannot arrive before the signal path runs it.
 		fmt.Fprintf(os.Stderr, "timerstat: %v\n", err)
 		return 1
+	case <-ctx.Done():
 	}
+	stop()
+	log.Printf("timerstat -serve: signal received, shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		// Stragglers past the grace period are cut off, not waited for.
+		hs.Close()
+		fmt.Fprintf(os.Stderr, "timerstat: shutdown: %v\n", err)
+	}
+	<-done // Serve has returned ErrServerClosed; the port is released.
+	records, streams := srv.FinalMerge()
+	log.Printf("timerstat -serve: final merge: %d records across %d streams", records, streams)
 	return 0
 }
 

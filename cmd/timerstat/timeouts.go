@@ -1,0 +1,12 @@
+package main
+
+import "time"
+
+// Wall-clock tunables for the -serve mode, with provenance (the paper's
+// Section 4 discipline applied to our own magic numbers).
+const (
+	// shutdownGrace bounds graceful shutdown: in-flight ingest POSTs are a
+	// few MiB at most and finish in well under a second on loopback; five
+	// seconds covers a slow remote producer without making ^C feel hung.
+	shutdownGrace = 5 * time.Second
+)

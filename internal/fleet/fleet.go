@@ -19,9 +19,11 @@ type Fleet struct {
 	hosts  []*Host
 	byName map[string]int
 
-	// jobs feeds the persistent worker pool; nil while no Run is active or
-	// when running with one worker.
+	// jobs feeds the persistent worker pool; nil while no session is active
+	// or when running with one worker.
 	jobs chan func()
+	// active guards against overlapping sessions (StartSession/Run).
+	active bool
 }
 
 // RunStats summarizes one Fleet.Run.
@@ -157,15 +159,21 @@ func (f *Fleet) advanceAll(workers int, horizon sim.Time) uint64 {
 // route is the serial barrier phase: drain every outbox into the
 // destinations' staged queues in host-index order (deterministic regardless
 // of which worker advanced whom), then merge and schedule deliveries. It
-// returns the number of messages moved.
+// returns the number of messages moved. Messages addressed to a down host
+// (Host.Kill) are dropped here and counted against the destination's Lost —
+// the wire reached the machine, the machine was off.
 func (f *Fleet) route() int {
 	moved := 0
 	for _, h := range f.hosts {
 		for _, m := range h.outbox {
 			dst := f.hosts[m.Dst]
+			if dst.Down {
+				dst.Lost++
+				continue
+			}
 			dst.staged = append(dst.staged, m)
+			moved++
 		}
-		moved += len(h.outbox)
 		h.outbox = h.outbox[:0]
 	}
 	if moved == 0 {
@@ -178,116 +186,21 @@ func (f *Fleet) route() int {
 }
 
 // minNextAt returns the earliest pending event time across the fleet.
+// Stopped engines (killed hosts) are skipped: their backlog cannot execute,
+// and letting it anchor the idle-jump target would pin the fleet to an
+// instant that never drains.
 func (f *Fleet) minNextAt() (sim.Time, bool) {
 	var best sim.Time
 	found := false
 	for _, h := range f.hosts {
+		if h.Eng.Stopped() {
+			continue
+		}
 		if t, ok := h.Eng.NextAt(); ok && (!found || t < best) {
 			best, found = t, true
 		}
 	}
 	return best, found
-}
-
-// Run advances the whole fleet through virtual time [0, end] on the given
-// number of workers and returns run statistics. Per-host traces are
-// byte-identical for any workers value.
-//
-// The algorithm is conservative-lookahead parallel discrete-event
-// simulation: with L = the fabric's minimum link latency, every message
-// sent at time s is delivered at s+L or later, so all events strictly
-// before now+L are causally independent across hosts. Each round therefore
-// advances every host to the window horizon on the worker pool, barriers,
-// routes the accumulated cross-host messages serially, and repeats — one
-// barrier per window, not per event (see DESIGN.md for why).
-//
-// When L is zero (a zero-latency link exists) the fleet degenerates to
-// deterministic lock-step by timestamp: each round runs exactly the global
-// minimum pending instant on every host that has it. When the fabric
-// permits no cross-host traffic at all, each host simply runs to the end
-// independently.
-func (f *Fleet) Run(end sim.Time, workers int) RunStats {
-	if workers < 1 {
-		workers = 1
-	}
-	stats := RunStats{}
-	lookahead, bounded := f.fabric.MinLatency()
-	stats.Lookahead, stats.Bounded = lookahead, bounded
-
-	if workers > 1 {
-		// Workers range over a local copy: the f.jobs field is cleared at
-		// the end of Run, and a field read in the loop would race with it.
-		jobs := make(chan func(), workers)
-		f.jobs = jobs
-		for w := 0; w < workers; w++ {
-			go func() {
-				for job := range jobs {
-					job()
-				}
-			}()
-		}
-		defer func() { close(jobs); f.jobs = nil }()
-	}
-
-	switch {
-	case !bounded:
-		// No cross-host traffic possible: fully independent hosts.
-		stats.Windows = 1
-		f.each(workers, func(i int) {
-			h := f.hosts[i]
-			h.windowExecuted = h.Eng.AdvanceUntil(end + 1)
-		})
-		for _, h := range f.hosts {
-			stats.Events += uint64(h.windowExecuted)
-		}
-	case lookahead == 0:
-		// Degenerate lock-step: one global timestamp per round.
-		for {
-			t, ok := f.minNextAt()
-			if !ok || t > end {
-				break
-			}
-			stats.Windows++
-			stats.Events += f.advanceAll(workers, t+1)
-			f.route()
-		}
-	default:
-		start := sim.Time(0)
-		for start <= end {
-			horizon := end + 1
-			if h := start + sim.Time(lookahead); h > start && h < horizon {
-				horizon = h
-			}
-			stats.Windows++
-			executed := f.advanceAll(workers, horizon)
-			stats.Events += executed
-			moved := f.route()
-			if executed == 0 && moved == 0 {
-				// Idle window: jump to the next event anywhere in the
-				// fleet instead of spinning one empty window per L.
-				t, ok := f.minNextAt()
-				if !ok || t > end {
-					break
-				}
-				start = t
-				continue
-			}
-			start = horizon
-		}
-	}
-
-	// Windows only ran events; park every clock at the end instant so
-	// idle-time accounting matches a serial Engine.Run(end).
-	f.each(workers, func(i int) {
-		f.hosts[i].Eng.Run(end)
-	})
-
-	for _, h := range f.hosts {
-		stats.Sent += h.Sent
-		stats.Delivered += h.Delivered
-		stats.Lost += h.Lost
-	}
-	return stats
 }
 
 // Counters sums the per-host sink counters (for sinks that keep them). A

@@ -89,6 +89,49 @@ type Host struct {
 
 	// Traffic counters (host-local, summed serially by RunStats).
 	Sent, Delivered, Lost uint64
+
+	// Down marks a killed host (see Kill). Set only at session barriers.
+	Down bool
+}
+
+// Kill freezes the host, modeling a machine power-off: its engine stops
+// executing (the pending backlog is retained, frozen in place) and the
+// route phase drops inbound messages as Lost. Call only at a session
+// barrier — mid-window the workers own host state.
+func (h *Host) Kill() {
+	h.Down = true
+	h.Eng.Stop()
+}
+
+// Restart brings a killed host back at the given instant — the session's
+// current Floor(). The engine clock skips forward over the outage (idle
+// time), and the frozen backlog fires late at the restart instant, like a
+// machine whose timers expired while it was off. Skipping the clock is
+// load-bearing for determinism: a resumed host sending from a lagging
+// clock would deliver into other hosts' past, breaking the lookahead
+// invariant. Call only at a session barrier.
+func (h *Host) Restart(at sim.Time) {
+	h.Down = false
+	h.Eng.Resume()
+	h.Eng.SkipTo(at)
+}
+
+// Steer hands a directive to the host at a session barrier. Host-level
+// directives (DirCoalesce) are handled here; the rest go to the model,
+// returning false when it does not implement Steerable or rejects the
+// directive.
+func (h *Host) Steer(d Directive) bool {
+	if d.Kind == DirCoalesce {
+		if d.Arg < 0 {
+			return false
+		}
+		h.Kit.SetCoalesce(sim.Duration(d.Arg))
+		return true
+	}
+	if s, ok := h.model.(Steerable); ok {
+		return s.Steer(h, d)
+	}
+	return false
 }
 
 // Send queues a message to another host. It must be called from within the

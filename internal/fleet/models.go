@@ -79,6 +79,7 @@ type client struct {
 	dst     int
 	tries   int
 	waiting bool
+	sentAt  sim.Time // first send of the current request (RTT sampling)
 }
 
 // desktopModel drives clients against the webserver index range
@@ -90,6 +91,15 @@ type desktopModel struct {
 	clients    []*client
 	inflight   map[uint64]*client
 	nextID     uint64
+
+	// Steering state (Steerable, see steer.go). All of it is plain host-
+	// local data mutated only at session barriers or on the host's own
+	// engine, so steered runs replay deterministically.
+	spikeDiv   int64    // think-time divisor while spiking (>1 = spike on)
+	spikeUntil sim.Time // spike expiry in virtual time
+	adaptive   bool     // request-timeout policy (PolicyAdaptive)
+	srtt       sim.Duration
+	rttvar     sim.Duration
 }
 
 func newDesktopModel(webservers, threads int, thinkMean sim.Duration) *desktopModel {
@@ -115,8 +125,15 @@ func (d *desktopModel) Boot(h *Host) {
 	}
 }
 
-// think schedules the next request after an exponential pause.
+// think schedules the next request after an exponential pause. While a
+// DirSpike is active the pause shrinks by the spike factor, multiplying
+// the request rate.
 func (d *desktopModel) think(h *Host, c *client, mean sim.Duration) {
+	if d.spikeDiv > 1 && h.Eng.Now() < d.spikeUntil {
+		if mean /= sim.Duration(d.spikeDiv); mean <= 0 {
+			mean = 1
+		}
+	}
 	h.Eng.After(h.Kit.Exp(mean), "browser:think", func() { d.request(h, c) })
 }
 
@@ -129,12 +146,14 @@ func (d *desktopModel) request(h *Host, c *client) {
 	c.dst = h.Eng.Rand().Intn(d.webservers)
 	c.tries = 0
 	c.waiting = true
+	c.sentAt = h.Eng.Now()
 	d.inflight[c.reqID] = c
 	h.Send(c.dst, MsgRequest, c.reqID, requestSize)
 	h.Kern.Base().ModTimeout(c.retrans, clientRetransmitTimeout)
 	// The titular 30 seconds: armed on every request, nearly always
-	// canceled by the response long before it could fire.
-	c.pending = c.th.Select(clientRequestTimeout, func(r kernel.SelectResult) {
+	// canceled by the response long before it could fire. Under
+	// PolicyAdaptive the deadline tracks the RTT estimator instead.
+	c.pending = c.th.Select(d.requestTimeout(), func(r kernel.SelectResult) {
 		mean := d.thinkMean
 		if r.TimedOut {
 			// Deadline reached with no response: tear down and back off.
@@ -170,8 +189,80 @@ func (d *desktopModel) OnMessage(h *Host, m Message) {
 	}
 	delete(d.inflight, m.ID)
 	c.waiting = false
+	if c.tries == 0 {
+		// Karn's rule: only never-retransmitted requests yield RTT
+		// samples (a retransmitted response is ambiguous about which
+		// send it answers).
+		d.observeRTT(h.Eng.Now().Sub(c.sentAt))
+	}
 	_ = h.Kern.Base().Del(c.retrans)
 	// Wakes the select early: OpCancel|FlagSatisfied on the 30 s timer,
 	// then the select callback continues the loop.
 	c.pending.Complete()
+}
+
+// requestTimeout picks the per-request select deadline under the active
+// policy. PolicyFixed (and a cold estimator) arms the paper's full 30 s;
+// PolicyAdaptive arms the RFC 6298 RTO, srtt + 4·rttvar, clamped to
+// [adaptiveTimeoutMin, clientRequestTimeout].
+func (d *desktopModel) requestTimeout() sim.Duration {
+	if !d.adaptive || d.srtt == 0 {
+		return clientRequestTimeout
+	}
+	rto := d.srtt + 4*d.rttvar
+	if rto < adaptiveTimeoutMin {
+		rto = adaptiveTimeoutMin
+	}
+	if rto > clientRequestTimeout {
+		rto = clientRequestTimeout
+	}
+	return rto
+}
+
+// observeRTT feeds one round-trip sample into the Jacobson estimator
+// (RFC 6298 integer form). Only runs while the adaptive policy is on, so
+// the fixed-policy hot path stays untouched.
+func (d *desktopModel) observeRTT(rtt sim.Duration) {
+	if !d.adaptive || rtt <= 0 {
+		return
+	}
+	if d.srtt == 0 {
+		d.srtt = rtt
+		d.rttvar = rtt / 2
+		return
+	}
+	diff := d.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	d.rttvar += (diff - d.rttvar) / 4
+	d.srtt += (rtt - d.srtt) / 8
+}
+
+// Steer implements Steerable: desktops accept load spikes and timeout-
+// policy switches.
+func (d *desktopModel) Steer(h *Host, dir Directive) bool {
+	switch dir.Kind {
+	case DirSpike:
+		if dir.Arg < 1 || dir.Dur <= 0 {
+			return false
+		}
+		d.spikeDiv = dir.Arg
+		d.spikeUntil = h.Eng.Now() + sim.Time(dir.Dur)
+		return true
+	case DirPolicy:
+		switch dir.Arg {
+		case PolicyFixed:
+			d.adaptive = false
+		case PolicyAdaptive:
+			// Cold-start the estimator: samples only accumulate while
+			// adaptive, so a re-enable starts fresh.
+			d.adaptive = true
+			d.srtt, d.rttvar = 0, 0
+		default:
+			return false
+		}
+		return true
+	}
+	return false
 }

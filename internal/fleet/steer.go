@@ -1,0 +1,56 @@
+package fleet
+
+import "timerstudy/internal/sim"
+
+// Steering: the control plane (internal/control) mutates model behaviour
+// mid-run by handing Directives to hosts at session barriers. Directives
+// are plain data — kind plus two scalar operands — so they serialize into
+// the command log and replay bit-identically; models opt in by
+// implementing Steerable.
+
+// Directive is one steering instruction for a host's model.
+type Directive struct {
+	// Kind selects the behaviour change (Dir* constants).
+	Kind uint8
+	// Arg is the kind-specific scalar operand.
+	Arg int64
+	// Dur bounds the effect in virtual time, for kinds that expire.
+	Dur sim.Duration
+}
+
+// Directive kinds.
+const (
+	// DirSpike multiplies a desktop's request rate by Arg (think-time
+	// divided by Arg) for Dur of virtual time — the "flash crowd" the
+	// paper's loaded-webserver trace is the per-box view of.
+	DirSpike uint8 = iota + 1
+	// DirPolicy selects the desktop client's request-timeout policy:
+	// Arg 0 = the paper's fixed 30 s, Arg 1 = adaptive (Jacobson RTT
+	// estimator, srtt + 4·rttvar clamped to [1 s, 30 s]) — the
+	// alternative the paper's Section 5 argues timer APIs should make
+	// easy.
+	DirPolicy
+	// DirCoalesce sets the host's periodic-timer coalescing window to Arg
+	// nanoseconds (0 = off) — workloads.HostKit.SetCoalesce, the
+	// round_jiffies remedy as a run-time knob. Handled by the Host itself,
+	// so every model supports it.
+	DirCoalesce
+)
+
+// Policy arguments for DirPolicy.
+const (
+	// PolicyFixed is the paper's default: every request arms the full
+	// 30 s timeout.
+	PolicyFixed int64 = 0
+	// PolicyAdaptive arms srtt + 4·rttvar instead, clamped to
+	// [adaptiveTimeoutMin, clientRequestTimeout].
+	PolicyAdaptive int64 = 1
+)
+
+// Steerable is implemented by models that accept steering directives.
+// Steer runs at a session barrier on the host's own (parked) engine; it
+// must mutate only model/host state and return false for directives it
+// does not support.
+type Steerable interface {
+	Steer(h *Host, d Directive) bool
+}

@@ -46,4 +46,8 @@ const (
 	// serverDiskEvery: one request in this many does disk I/O on the server
 	// (the 4 ms unplug + 30 s IDE pair of Table 3).
 	serverDiskEvery = 8
+	// adaptiveTimeoutMin: floor of the PolicyAdaptive request timeout —
+	// RFC 6298's 1 s minimum RTO, the lower bound the paper's Section 5
+	// contrasts the hardcoded 30 s against.
+	adaptiveTimeoutMin = sim.Second
 )

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// hubRequest runs one request against a server's handler.
+func hubRequest(t *testing.T, s *Server, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// TestCommandHubFlow drives the full relay: stage via POST /api/command,
+// drain as the driver, report decisions, read them back from the log.
+func TestCommandHubFlow(t *testing.T) {
+	s := New(Options{Clock: newFakeClock().now})
+
+	// Stage two commands; tickets are sequential.
+	for i, want := range []uint64{1, 2} {
+		w := hubRequest(t, s, http.MethodPost, "/api/command",
+			CommandRequest{Kind: "spike", Host: "*", Arg: int64(4 + i), DurMS: 500})
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("command %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		var resp struct {
+			Ticket uint64 `json:"ticket"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.Ticket != want {
+			t.Fatalf("command %d: ticket %d (err %v), want %d", i, resp.Ticket, err, want)
+		}
+	}
+
+	// A command without a kind is refused at the door.
+	if w := hubRequest(t, s, http.MethodPost, "/api/command", CommandRequest{Host: "*"}); w.Code != http.StatusBadRequest {
+		t.Fatalf("kindless command: status %d", w.Code)
+	}
+	// GET on a POST endpoint is refused.
+	if w := hubRequest(t, s, http.MethodGet, "/api/command", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET command: status %d", w.Code)
+	}
+
+	// The driver drains both; a second drain finds nothing.
+	w := hubRequest(t, s, http.MethodPost, "/api/command/drain", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("drain: status %d", w.Code)
+	}
+	var drained struct {
+		Commands []StagedCommand `json:"commands"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &drained); err != nil {
+		t.Fatalf("drain body: %v", err)
+	}
+	if len(drained.Commands) != 2 || drained.Commands[0].Ticket != 1 || drained.Commands[1].Arg != 5 {
+		t.Fatalf("drained: %+v", drained.Commands)
+	}
+	w = hubRequest(t, s, http.MethodPost, "/api/command/drain", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &drained); err != nil || len(drained.Commands) != 0 {
+		t.Fatalf("second drain not empty: %+v (err %v)", drained.Commands, err)
+	}
+
+	// The driver reports one accept, one reject, plus its snapshot.
+	rep := ControlReport{
+		Results: []CommandResult{
+			{Ticket: 1, Accepted: true, Seq: 1, Window: 10},
+			{Ticket: 2, Accepted: false, Reason: "spike factor must be >= 1"},
+		},
+		Snapshot: json.RawMessage(`{"window":10,"digest":12345}`),
+		Patches:  json.RawMessage(`[{"kind":"spike"}]`),
+	}
+	if w := hubRequest(t, s, http.MethodPost, "/api/command/report", rep); w.Code != http.StatusNoContent {
+		t.Fatalf("report: status %d: %s", w.Code, w.Body.String())
+	}
+
+	// The log shows both verdicts and the stored views; ?after filters.
+	w = hubRequest(t, s, http.MethodGet, "/api/command/log", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("log: status %d", w.Code)
+	}
+	var lg struct {
+		Staged   int             `json:"staged"`
+		Reports  uint64          `json:"reports"`
+		Results  []CommandResult `json:"results"`
+		Snapshot json.RawMessage `json:"snapshot"`
+		Patches  json.RawMessage `json:"patches"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &lg); err != nil {
+		t.Fatalf("log body: %v", err)
+	}
+	if lg.Staged != 0 || lg.Reports != 1 || len(lg.Results) != 2 {
+		t.Fatalf("log: %+v", lg)
+	}
+	if !lg.Results[0].Accepted || lg.Results[1].Accepted || lg.Results[1].Reason == "" {
+		t.Fatalf("verdicts: %+v", lg.Results)
+	}
+	if string(lg.Snapshot) == "" || string(lg.Patches) == "" {
+		t.Fatal("snapshot/patches not stored")
+	}
+	w = hubRequest(t, s, http.MethodGet, "/api/command/log?after=1", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &lg); err != nil || len(lg.Results) != 1 || lg.Results[0].Ticket != 2 {
+		t.Fatalf("after=1: %+v (err %v)", lg.Results, err)
+	}
+}
+
+// TestCommandHubBacklogBound: without a driver draining, the hub rejects
+// rather than buffers without bound.
+func TestCommandHubBacklogBound(t *testing.T) {
+	s := New(Options{Clock: newFakeClock().now})
+	for i := 0; i < maxStagedCommands; i++ {
+		w := hubRequest(t, s, http.MethodPost, "/api/command", CommandRequest{Kind: "kill", Host: fmt.Sprintf("ws-%04d", i)})
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("command %d: status %d", i, w.Code)
+		}
+	}
+	if w := hubRequest(t, s, http.MethodPost, "/api/command", CommandRequest{Kind: "kill", Host: "ws-0000"}); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap command: status %d", w.Code)
+	}
+}

@@ -86,6 +86,7 @@ type Server struct {
 	merged  atomic.Pointer[mergedState]
 
 	rates *rateRing
+	hub   hub // steering relay between dashboard and simulation driver
 
 	// Metrics is exported for the loopback benchmark; handlers bump it
 	// directly.
@@ -151,6 +152,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/api/origins", s.section(func(m *mergedState) []byte { return m.origins }))
 	s.mux.HandleFunc("/api/histograms", s.section(func(m *mergedState) []byte { return m.histograms }))
 	s.mux.HandleFunc("/api/rates", s.handleRates)
+	s.mux.HandleFunc("/api/command", s.handleCommand)
+	s.mux.HandleFunc("/api/command/drain", s.handleCommandDrain)
+	s.mux.HandleFunc("/api/command/report", s.handleCommandReport)
+	s.mux.HandleFunc("/api/command/log", s.handleCommandLog)
 	s.mux.HandleFunc("/api/streams", s.handleStreams)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/", s.handleDashboard)
@@ -327,6 +332,17 @@ func (s *Server) view() *mergedState {
 	s.Metrics.MergeNSTotal.Add(uint64(end.Sub(start).Nanoseconds()))
 	s.Metrics.MergedRecords.Store(records)
 	return m
+}
+
+// FinalMerge forces one last merge and reports what the service absorbed —
+// the graceful-shutdown log line. After the listener closes no more
+// batches can arrive, so the returned view is the run's exact final state.
+func (s *Server) FinalMerge() (records uint64, streams int) {
+	m := s.view()
+	s.mu.Lock()
+	streams = len(s.streams)
+	s.mu.Unlock()
+	return m.records, streams
 }
 
 func writeJSON(w http.ResponseWriter, body []byte) {

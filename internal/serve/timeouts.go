@@ -38,4 +38,21 @@ const (
 	// 16 saturates decode on any host this runs on while capping transient
 	// body buffers at 16 × defaultMaxBodyBytes.
 	defaultIngestConcurrency = 16
+
+	// maxStagedCommands bounds the steering backlog between driver polls.
+	// The driver drains every barrier (milliseconds apart); hundreds of
+	// staged commands means no driver is polling, and rejecting fast beats
+	// buffering requests that will never apply.
+	maxStagedCommands = 256
+
+	// maxCommandResults bounds the decided-command ring served by
+	// /api/command/log; matches the control plane's own patch buffer.
+	maxCommandResults = 1024
+
+	// maxCommandBody caps one steering POST body. A command is a few
+	// hundred bytes; the largest report — a full maxCommandResults batch of
+	// decisions plus a maximal patch feed at ~100 bytes per entry — stays
+	// under 256 KiB. The trace-batch limit does not apply to the control
+	// API.
+	maxCommandBody = 256 << 10
 )

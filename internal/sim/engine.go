@@ -75,6 +75,9 @@ type eventQueue interface {
 	remove(n *event)
 	// update re-positions a queued node after its when/seq changed.
 	update(n *event)
+	// forEach visits every queued node in unspecified order (cold-path
+	// state export; callers sort).
+	forEach(fn func(*event))
 	// len returns the number of queued nodes.
 	len() int
 	// name identifies the implementation for benchmarks.
@@ -169,6 +172,7 @@ type Engine struct {
 	free      *event // freelist of released nodes, threaded via next
 	seq       uint64
 	rng       *rand.Rand
+	src       *countingSource
 	stats     Stats
 	lastWake  Time
 	hasWoken  bool
@@ -179,7 +183,8 @@ type Engine struct {
 // NewEngine returns an engine at time zero whose randomness derives entirely
 // from seed.
 func NewEngine(seed int64, opts ...Option) *Engine {
-	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	e := &Engine{rng: rand.New(src), src: src}
 	for _, o := range opts {
 		o(e)
 	}

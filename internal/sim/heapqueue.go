@@ -56,6 +56,12 @@ func (h *heapQueue) remove(n *event) {
 	n.index = -1
 }
 
+func (h *heapQueue) forEach(fn func(*event)) {
+	for _, n := range h.items {
+		fn(n)
+	}
+}
+
 func (h *heapQueue) update(n *event) {
 	h.down(n.index)
 	h.up(n.index)

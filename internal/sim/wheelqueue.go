@@ -123,6 +123,24 @@ func (w *wheelQueue) update(n *event) {
 	w.push(n)
 }
 
+// forEach visits every queued node: all tv1 slots plus the four outer
+// wheels, in bucket order (cold-path state export; callers sort).
+func (w *wheelQueue) forEach(fn func(*event)) {
+	visit := func(b *wheelBucket) {
+		for n := b.head; n != nil; n = n.next {
+			fn(n)
+		}
+	}
+	for i := range w.tv1 {
+		visit(&w.tv1[i])
+	}
+	for level := range w.tvn {
+		for i := range w.tvn[level] {
+			visit(&w.tvn[level][i])
+		}
+	}
+}
+
 // peek returns the earliest pending event, advancing the cursor over empty
 // slots and cascading outer wheels as block boundaries are crossed.
 //

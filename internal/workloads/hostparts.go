@@ -29,6 +29,10 @@ type HostKit struct {
 	// same reuse that keeps the paper's timer counts at ~100 per trace.
 	idePool    []*jiffies.Timer
 	unplugPool []*jiffies.Timer
+
+	// coalesce is the periodic-timer coalescing grid width; 0 = off. See
+	// SetCoalesce.
+	coalesce sim.Duration
 }
 
 // NewHostKit binds a kit to a booted kernel personality. Randomness comes
@@ -55,19 +59,54 @@ func (k *HostKit) Uniform(lo, hi sim.Duration) sim.Duration {
 	return lo + sim.Duration(k.Rng.Int63n(int64(hi-lo)))
 }
 
+// SetCoalesce sets the coalescing window for the ClassPeriodic timer
+// family: every Periodic (re-)arm rounds its expiry up to the next
+// multiple of w, so the independent daemons' timers land on shared
+// instants and batch into one wakeup — the round_jiffies/deferrable-timer
+// remedy the paper's Section 5 argues for, as a run-time knob (the control
+// plane's coalescing-window command, internal/control). w <= 0 turns
+// coalescing off. Same single-threaded discipline as everything else on
+// the kit: call from the host's own callbacks or at a fleet barrier.
+func (k *HostKit) SetCoalesce(w sim.Duration) {
+	if w < 0 {
+		w = 0
+	}
+	k.coalesce = w
+}
+
+// Coalesce returns the active coalescing window (0 = off).
+func (k *HostKit) Coalesce() sim.Duration { return k.coalesce }
+
+// armCoalesced arms t to fire after d, rounded up to the coalescing grid
+// when one is set. Rounding is up, never down — coalescing may only defer
+// a periodic timer (firing early would violate the timeout contract) — and
+// applies only when the window is no longer than the delay itself, the
+// kernel's slack rule: deferral stretches a cycle by at most one window,
+// it never swallows whole periods of a timer finer than the grid.
+func (k *HostKit) armCoalesced(t *jiffies.Timer, d sim.Duration) {
+	if w := int64(k.coalesce); w > 0 && w <= int64(d) {
+		deadline := int64(k.Eng.Now()) + int64(d)
+		if r := deadline % w; r != 0 {
+			d += sim.Duration(w - r)
+		}
+	}
+	k.L.Base().ModTimeout(t, d)
+}
+
 // Periodic installs a self-re-arming kernel timer — the ClassPeriodic
 // pattern (page-out timer, work queues). The first arming lands at a random
-// phase, reproducing the up-to-2 ms value jitter of Section 3.1.
+// phase, reproducing the up-to-2 ms value jitter of Section 3.1. Arms honor
+// the kit's coalescing window (SetCoalesce).
 func (k *HostKit) Periodic(origin string, period sim.Duration, body func()) *jiffies.Timer {
 	var t *jiffies.Timer
 	t = k.L.KernelTimer(origin, func() {
 		if body != nil {
 			body()
 		}
-		k.L.Base().ModTimeout(t, period)
+		k.armCoalesced(t, period)
 	})
 	k.Eng.After(k.Uniform(0, period), origin+":phase", func() {
-		k.L.Base().ModTimeout(t, period)
+		k.armCoalesced(t, period)
 	})
 	return t
 }

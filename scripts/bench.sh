@@ -35,6 +35,17 @@ go run ./cmd/experiments "${args[@]}" > /dev/null
 go run ./cmd/experiments -fleet -hosts "${FLEET_HOSTS:-64}" \
 	-fleet-duration "${FLEET_DURATION:-5s}" -bench "$out" > /dev/null
 
+# Control plane: a steered fleet run that writes a checkpoint at its end,
+# merged under the "control" key (checkpoint_ms, checkpoint_bytes, windows,
+# commands_applied, wall_ms, digest). The steering script exercises every
+# command kind, so the bench doubles as a smoke test of the steered path.
+ctl_ck="$(mktemp)"
+go run ./cmd/experiments -hosts "${FLEET_HOSTS:-64}" \
+	-fleet-duration "${FLEET_DURATION:-5s}" \
+	-steer "10:spike:*:4:500ms,20:kill:ws-0000,25:policy:*:adaptive,30:coalesce:*:100ms,60:restart:ws-0000" \
+	-checkpoint "$ctl_ck" -bench "$out" > /dev/null
+rm -f "$ctl_ck"
+
 # Live trace service: loopback ingest/query throughput (producers x
 # readers through real HTTP), merged under the "serve" key. The run also
 # re-checks the quiesced server's summary against the offline pipeline and

@@ -38,6 +38,8 @@ go test -count=1 -run 'TestEngineZeroAllocSteadyState|TestEventAllocsPlateau|Tes
 echo "== codec fuzz smoke (10s per format) =="
 go test -run '^$' -fuzz 'FuzzDecode$' -fuzztime=10s ./internal/trace
 go test -run '^$' -fuzz 'FuzzDecodeV2$' -fuzztime=10s ./internal/trace
+go test -run '^$' -fuzz 'FuzzReadCheckpoint' -fuzztime=10s ./internal/trace
+go test -run '^$' -fuzz 'FuzzDecodeCommands' -fuzztime=10s ./internal/control
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime=1x ./...
@@ -66,6 +68,12 @@ echo "== timerlint fleet gates (alloc-free window advance, no shared-state captu
 # advance path.
 go run ./cmd/timerlint -run allocfree,goroutinecapture ./internal/fleet ./internal/netsim
 
+echo "== timerlint control gates (window-boundary apply path, bounds provenance) =="
+# The control plane drains commands at the fleet barrier and stores its
+# bounds in timeouts.go: allocfree/goroutinecapture audit the apply path,
+# magictimeout audits the registry.
+go run ./cmd/timerlint -run allocfree,goroutinecapture,magictimeout ./internal/control
+
 echo "== fleet serial-vs-parallel determinism gate (64 hosts) =="
 # Two separate processes — workers=1 and workers=4 — must print identical
 # fleet digests: per-host traces byte-identical regardless of worker count.
@@ -79,6 +87,47 @@ if [[ -z "$d1" || "$d1" != "$d4" ]]; then
 	exit 1
 fi
 echo "fleet digest $d1 identical at workers=1 and workers=4"
+
+echo "== command-replay determinism gate (steered run == recorded replay) =="
+# A steered run's recorded command log, replayed from seed in a separate
+# process at a different worker count AND on the other event-queue
+# implementation, must land on the identical control digest. CONTROL_HOSTS
+# sizes the fleet (default 1024 — the acceptance scale; the whole
+# four-run gate pair takes ~12 s on this container).
+ctl_dir="$(mktemp -d)"
+ctl_args=(-hosts "${CONTROL_HOSTS:-1024}" -fleet-duration 1s -seed 7)
+steer_script="10:spike:*:4:200ms,20:kill:ws-0000,25:policy:*:adaptive,30:coalesce:*:100ms,60:restart:ws-0000"
+go build -o "$ctl_dir/experiments" ./cmd/experiments
+c1="$("$ctl_dir/experiments" "${ctl_args[@]}" -steer "$steer_script" \
+	-record-commands "$ctl_dir/cmds.tcmd" -fleet-workers 4 \
+	| grep '^control digest:' | cut -d' ' -f3)"
+c2="$("$ctl_dir/experiments" "${ctl_args[@]}" -replay-commands "$ctl_dir/cmds.tcmd" \
+	-fleet-workers 1 | grep '^control digest:' | cut -d' ' -f3)"
+c3="$("$ctl_dir/experiments" "${ctl_args[@]}" -replay-commands "$ctl_dir/cmds.tcmd" \
+	-fleet-workers 8 -queue wheel | grep '^control digest:' | cut -d' ' -f3)"
+if [[ -z "$c1" || "$c1" != "$c2" || "$c1" != "$c3" ]]; then
+	echo "COMMAND REPLAY NONDETERMINISM: steered '$c1' vs replay-w1 '$c2' vs replay-w8-wheel '$c3'" >&2
+	rm -rf "$ctl_dir"
+	exit 1
+fi
+echo "control digest $c1 identical for steered run and both replays"
+
+echo "== checkpoint-resume digest gate (interrupted run == uninterrupted) =="
+# The same steered run interrupted at window 40, checkpointed, and resumed
+# in a fresh process (different worker count) must finish on the exact
+# digest of the uninterrupted run above. Keyframe verification runs inside
+# -resume: any divergence between the rebuilt fleet and the checkpoint's
+# per-host keyframe is a hard error before the run even continues.
+"$ctl_dir/experiments" "${ctl_args[@]}" -steer "$steer_script" \
+	-stop-window 40 -checkpoint "$ctl_dir/ck.tckp" -fleet-workers 4 > /dev/null
+c4="$("$ctl_dir/experiments" -resume "$ctl_dir/ck.tckp" -fleet-workers 2 \
+	| grep '^control digest:' | cut -d' ' -f3)"
+rm -rf "$ctl_dir"
+if [[ -z "$c4" || "$c4" != "$c1" ]]; then
+	echo "CHECKPOINT RESUME DIVERGENCE: resumed digest '$c4' != uninterrupted '$c1'" >&2
+	exit 1
+fi
+echo "control digest $c4 identical for checkpoint-resumed and uninterrupted runs"
 
 echo "== live-service loopback gate (serve ingest == offline timerstat) =="
 # End-to-end determinism across the network path: start timerstat -serve on
